@@ -1,0 +1,349 @@
+package p2psplice
+
+// Benchmark harness: one benchmark per paper figure (the code that
+// regenerates each table/series), ablation benches for the design choices
+// DESIGN.md calls out, and micro-benchmarks for the hot paths.
+//
+// The figure benches run the sweeps at a reduced scale per iteration and
+// report the headline quantity via b.ReportMetric so `go test -bench .`
+// doubles as a smoke reproduction. Full-scale numbers live in
+// EXPERIMENTS.md and come from `go run ./cmd/experiment`.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/core"
+	"p2psplice/internal/experiment"
+	"p2psplice/internal/media"
+	"p2psplice/internal/netem"
+	"p2psplice/internal/simpeer"
+	"p2psplice/internal/splicer"
+	"p2psplice/internal/wire"
+)
+
+// benchParams is the per-iteration experiment scale.
+func benchParams() experiment.Params {
+	p := experiment.QuickParams()
+	p.ClipDuration = 40 * time.Second
+	p.Leechers = 6
+	return p
+}
+
+// --- Figure benches -------------------------------------------------------
+
+// BenchmarkFig2StallsBySplicing regenerates Figure 2 (total stalls per
+// splicing technique across the bandwidth sweep).
+func BenchmarkFig2StallsBySplicing(b *testing.B) {
+	p := benchParams()
+	var last *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		res, err := p.Fig2Stalls([]int64{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series("2s")[0], "stalls@128kBps(2s)")
+	b.ReportMetric(last.Series("4s")[0], "stalls@128kBps(4s)")
+}
+
+// BenchmarkFig3StallDuration regenerates Figure 3 (total stall duration).
+func BenchmarkFig3StallDuration(b *testing.B) {
+	p := benchParams()
+	var last *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		res, err := p.Fig3StallDuration([]int64{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series("gop")[0], "stallSec@128kBps(gop)")
+}
+
+// BenchmarkFig4StartupTime regenerates Figure 4 (startup time by segment
+// duration and bandwidth).
+func BenchmarkFig4StartupTime(b *testing.B) {
+	p := benchParams()
+	var last *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		res, err := p.Fig4Startup([]int64{128, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series("2s")[0], "startupSec@128kBps(2s)")
+	b.ReportMetric(last.Series("8s")[0], "startupSec@128kBps(8s)")
+}
+
+// BenchmarkFig5DownloadPolicies regenerates Figure 5 (adaptive pooling vs
+// fixed pools).
+func BenchmarkFig5DownloadPolicies(b *testing.B) {
+	p := benchParams()
+	var last *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		res, err := p.Fig5Pooling([]int64{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series("adaptive")[0], "stalls@128kBps(adaptive)")
+	b.ReportMetric(last.Series("pool-8")[0], "stalls@128kBps(pool-8)")
+}
+
+// --- Ablation benches ------------------------------------------------------
+
+// ablationRun executes one emulated run with a config modifier and reports
+// mean stalls and startup.
+func ablationRun(b *testing.B, mod func(*simpeer.SwarmConfig)) {
+	b.Helper()
+	p := benchParams()
+	segs, err := p.Segments(splicer.DurationSplicer{Target: 4 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stalls, startup float64
+	for i := 0; i < b.N; i++ {
+		cfg := simpeer.SwarmConfig{
+			Seed:                 1000 + int64(i),
+			Leechers:             p.Leechers,
+			BandwidthBytesPerSec: 256 * 1024,
+			PeerAccessDelay:      25 * time.Millisecond,
+			SeederAccessDelay:    25 * time.Millisecond,
+			LossRate:             0.05,
+			Policy:               core.AdaptivePool{},
+			OracleBandwidth:      true,
+			JoinSpread:           p.JoinSpread,
+			ResumeBuffer:         p.ResumeBuffer,
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		res, err := simpeer.RunSwarm(cfg, segs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res.Summary()
+		stalls = s.MeanStalls
+		startup = s.MeanStartupSeconds
+	}
+	b.ReportMetric(stalls, "stalls")
+	b.ReportMetric(startup, "startupSec")
+}
+
+// BenchmarkAblationBaseline is the reference configuration.
+func BenchmarkAblationBaseline(b *testing.B) { ablationRun(b, nil) }
+
+// BenchmarkAblationChurn exercises peer departures (the paper's motivation
+// for prefetching: "peers can leave the swarm anytime").
+func BenchmarkAblationChurn(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) {
+		c.Churn = simpeer.ChurnModel{MeanOnline: 30 * time.Second, MinRemaining: 2}
+	})
+}
+
+// BenchmarkAblationEWMAEstimator replaces the bandwidth oracle with the
+// EWMA estimator (real deployments cannot know B).
+func BenchmarkAblationEWMAEstimator(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) { c.OracleBandwidth = false })
+}
+
+// BenchmarkAblationStoreAndForward disables piece-level relaying: peers
+// serve only complete segments, collapsing the swarm to seeder fan-out.
+func BenchmarkAblationStoreAndForward(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) { c.DisableRelay = true })
+}
+
+// BenchmarkAblationRarestFirst swaps sequential selection for BitTorrent's
+// rarest-first (availability over playback order).
+func BenchmarkAblationRarestFirst(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) { c.Selection = simpeer.SelectRarestFirst })
+}
+
+// BenchmarkAblationCrossTraffic adds competing flows (the paper's future
+// work: "competing flows and high congestion environment").
+func BenchmarkAblationCrossTraffic(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) { c.CrossTraffic = 4 })
+}
+
+// BenchmarkAblationVariableBandwidth varies link rates mid-stream (the
+// paper's future work: "available bandwidth changes over time").
+func BenchmarkAblationVariableBandwidth(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) {
+		c.BandwidthSchedule = []netem.BandwidthStep{
+			{At: 15 * time.Second, BytesPerSec: 128 * 1024},
+			{At: 30 * time.Second, BytesPerSec: 256 * 1024},
+		}
+	})
+}
+
+// --- Micro-benchmarks ------------------------------------------------------
+
+func benchVideo(b *testing.B) *media.Video {
+	b.Helper()
+	v, err := media.Synthesize(media.DefaultEncoderConfig(), 2*time.Minute, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+func BenchmarkSynthesize2MinClip(b *testing.B) {
+	cfg := media.DefaultEncoderConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := media.Synthesize(cfg, 2*time.Minute, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpliceGOP(b *testing.B) {
+	v := benchVideo(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (splicer.GOPSplicer{}).Splice(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpliceDuration4s(b *testing.B) {
+	v := benchVideo(b)
+	sp := splicer.DurationSplicer{Target: 4 * time.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Splice(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContainerEncodeDecode(b *testing.B) {
+	v := benchVideo(b)
+	segs, err := splicer.DurationSplicer{Target: 4 * time.Second}.Splice(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := container.Build(segs[0], v.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := container.EncodeBytes(cs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := container.EncodeBytes(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := container.DecodeBytes(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkManifestBuild(b *testing.B) {
+	v := benchVideo(b)
+	segs, err := splicer.DurationSplicer{Target: 4 * time.Second}.Splice(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := container.ClipInfo{Duration: v.Duration(), BytesPerSecond: v.Config.BytesPerSecond, Seed: v.Seed}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := container.BuildManifest(info, "4s", segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWirePieceRoundTrip(b *testing.B) {
+	data := bytes.Repeat([]byte{0xAB}, wire.DefaultBlockLen)
+	msg := &wire.Message{Type: wire.MsgPiece, Index: 1, Offset: 0, Data: data}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEquation1PoolSize(b *testing.B) {
+	p := core.AdaptivePool{}
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += p.PoolSize(512*1024, 4*time.Second, 512*1024)
+	}
+	if sink == 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+// BenchmarkSwarmEmulationPaperScale runs one full-scale emulated run
+// (19 leechers, 2-minute clip) per iteration — the unit of work behind
+// every figure data point.
+func BenchmarkSwarmEmulationPaperScale(b *testing.B) {
+	p := experiment.DefaultParams()
+	segs, err := p.Segments(splicer.DurationSplicer{Target: 4 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := simpeer.SwarmConfig{
+			Seed:                 int64(i + 1),
+			Leechers:             19,
+			BandwidthBytesPerSec: 256 * 1024,
+			PeerAccessDelay:      25 * time.Millisecond,
+			SeederAccessDelay:    25 * time.Millisecond,
+			LossRate:             0.05,
+			Policy:               core.AdaptivePool{},
+			OracleBandwidth:      true,
+			JoinSpread:           5 * time.Second,
+			ResumeBuffer:         6 * time.Second,
+		}
+		if _, err := simpeer.RunSwarm(cfg, segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6AdaptiveSplicing regenerates the extension figure: the
+// OptimalDuration algorithm against fixed splicing durations.
+func BenchmarkFig6AdaptiveSplicing(b *testing.B) {
+	p := benchParams()
+	var last *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		res, err := p.Fig6AdaptiveSplicing([]int64{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series("adaptive")[1], "waitSec@512kBps(adaptive)")
+}
+
+// BenchmarkAblationCDNAssist adds the Section IV hybrid CDN to the swarm.
+func BenchmarkAblationCDNAssist(b *testing.B) {
+	ablationRun(b, func(c *simpeer.SwarmConfig) {
+		c.CDN = &simpeer.CDNAssist{BandwidthBytesPerSec: 1024 * 1024}
+	})
+}

@@ -1,0 +1,269 @@
+// Command experiment regenerates the paper's evaluation figures on the
+// deterministic emulator and prints them as text tables.
+//
+// Usage:
+//
+//	experiment [-figure all|2|3|4|5|table] [-quick] [-runs N] [-leechers N]
+//	           [-clip 2m] [-seed N] [-ablation churn|estimator|relay|rarest|cross|varbw]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"p2psplice/internal/core"
+	"p2psplice/internal/experiment"
+	"p2psplice/internal/metrics"
+	"p2psplice/internal/netem"
+	"p2psplice/internal/shaper"
+	"p2psplice/internal/simpeer"
+	"p2psplice/internal/splicer"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, or table")
+		quick    = flag.Bool("quick", false, "use the scaled-down quick parameters")
+		runs     = flag.Int("runs", 0, "override repetitions per sweep point")
+		leechers = flag.Int("leechers", 0, "override the number of viewers")
+		clip     = flag.Duration("clip", 0, "override the clip duration")
+		seed     = flag.Int64("seed", 0, "override the base seed")
+		ablation = flag.String("ablation", "", "run an ablation instead: churn, estimator, relay, rarest, cross, varbw, hetero, cdn")
+		real     = flag.Bool("real", false, "cross-validate: run one small swarm on BOTH the emulator and real TCP sockets")
+		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *real {
+		if err := runRealValidation(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p := experiment.DefaultParams()
+	if *quick {
+		p = experiment.QuickParams()
+	}
+	if *runs > 0 {
+		p.Runs = *runs
+	}
+	if *leechers > 0 {
+		p.Leechers = *leechers
+	}
+	if *clip > 0 {
+		p.ClipDuration = *clip
+	}
+	if *seed != 0 {
+		p.BaseSeed = *seed
+	}
+
+	if *ablation != "" {
+		if err := runAblation(p, *ablation); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	type gen struct {
+		name string
+		run  func([]int64) (*experiment.FigureResult, error)
+	}
+	gens := map[string]gen{
+		"2":     {"Figure 2", p.Fig2Stalls},
+		"3":     {"Figure 3", p.Fig3StallDuration},
+		"4":     {"Figure 4", p.Fig4Startup},
+		"5":     {"Figure 5", p.Fig5Pooling},
+		"6":     {"Figure 6 (extension)", p.Fig6AdaptiveSplicing},
+		"table": {"Splicing table", func([]int64) (*experiment.FigureResult, error) { return p.SpliceOverheadTable() }},
+	}
+	order := []string{"2", "3", "4", "5", "6", "table"}
+	if *figure != "all" {
+		if _, ok := gens[*figure]; !ok {
+			fmt.Fprintf(os.Stderr, "experiment: unknown figure %q\n", *figure)
+			os.Exit(2)
+		}
+		order = []string{*figure}
+	}
+	start := time.Now()
+	for _, key := range order {
+		res, err := gens[key].run(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: %s: %v\n", gens[key].name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Figure.Render())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, key, res); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("(%d leechers, %v clip, %d runs/point, elapsed %v)\n",
+		p.Leechers, p.ClipDuration, p.Runs, time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSV saves a figure's data under dir/figure-<key>.csv.
+func writeCSV(dir, key string, res *experiment.FigureResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "figure-"+key+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Figure.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// runRealValidation runs the same small workload on the deterministic
+// emulator and on real loopback TCP, printing both sets of playback metrics.
+// Loopback has no bandwidth shaping by default, so the comparison point uses
+// a shaped link on the real side and the matching rate on the emulated side.
+func runRealValidation() error {
+	const (
+		clip    = 8 * time.Second
+		rate    = int64(32 * 1024)
+		viewers = 3
+		shapeKB = int64(128)
+	)
+	sp := splicer.DurationSplicer{Target: 2 * time.Second}
+
+	// Emulated.
+	p := experiment.QuickParams()
+	p.ClipDuration = clip
+	p.Encoder.BytesPerSecond = rate
+	p.Leechers = viewers
+	p.Runs = 1
+	segs, err := p.Segments(sp)
+	if err != nil {
+		return err
+	}
+	emu, err := p.Sweep(sp, core.AdaptivePool{}, []int64{shapeKB}, nil)
+	if err != nil {
+		return err
+	}
+	_ = segs
+
+	// Real TCP over loopback, shaped to the same access rate.
+	fmt.Printf("cross-validation: %v clip at %d B/s, %d viewers, 2s segments, %d kB/s links\n",
+		clip, rate, viewers, shapeKB)
+	start := time.Now()
+	samples, err := experiment.RealStackRun(experiment.RealStackConfig{
+		Clip:    clip,
+		Rate:    rate,
+		Seed:    42,
+		Splicer: sp,
+		Viewers: viewers,
+		Shape:   &shaper.Config{RateBytesPerSec: shapeKB * 1024, Latency: 25 * time.Millisecond},
+		Timeout: 3 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	sum := metrics.Summarize(samples)
+	fmt.Printf("%-10s | %10s | %12s | %12s\n", "stack", "stalls", "stall sec", "startup sec")
+	fmt.Printf("%-10s | %10.1f | %12.1f | %12.1f\n", "emulated", emu[0].Stalls, emu[0].StallSeconds, emu[0].StartupSecs)
+	fmt.Printf("%-10s | %10.1f | %12.1f | %12.1f\n", "real TCP", sum.MeanStalls, sum.MeanStallSeconds, sum.MeanStartupSeconds)
+	fmt.Printf("(real run wall time %v; the emulated run took milliseconds)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runAblation exercises the extension mechanisms DESIGN.md calls out and
+// prints a small before/after table.
+func runAblation(p experiment.Params, name string) error {
+	bandwidths := []int64{128, 256, 512}
+
+	type variant struct {
+		label string
+		mod   func(*simpeer.SwarmConfig)
+	}
+	var variants []variant
+	switch name {
+	case "churn":
+		variants = []variant{
+			{"no churn", nil},
+			{"mean online 45s", func(c *simpeer.SwarmConfig) {
+				c.Churn = simpeer.ChurnModel{MeanOnline: 45 * time.Second, MinRemaining: 3}
+			}},
+		}
+	case "estimator":
+		variants = []variant{
+			{"oracle B", nil},
+			{"EWMA B", func(c *simpeer.SwarmConfig) { c.OracleBandwidth = false }},
+		}
+	case "relay":
+		variants = []variant{
+			{"piece relay", nil},
+			{"store-and-forward", func(c *simpeer.SwarmConfig) { c.DisableRelay = true }},
+		}
+	case "rarest":
+		variants = []variant{
+			{"sequential", nil},
+			{"rarest-first", func(c *simpeer.SwarmConfig) { c.Selection = simpeer.SelectRarestFirst }},
+		}
+	case "cross":
+		variants = []variant{
+			{"idle network", nil},
+			{"4 cross flows", func(c *simpeer.SwarmConfig) { c.CrossTraffic = 4 }},
+		}
+	case "cdn":
+		variants = []variant{
+			{"pure P2P", nil},
+			{"CDN assist (1 MB/s)", func(c *simpeer.SwarmConfig) {
+				c.CDN = &simpeer.CDNAssist{BandwidthBytesPerSec: 1024 * 1024}
+			}},
+		}
+	case "hetero":
+		half := make([]int64, 10)
+		for i := range half {
+			if i%2 == 0 {
+				half[i] = 64 * 1024 // every other peer on a half-rate link
+			}
+		}
+		variants = []variant{
+			{"homogeneous", nil},
+			{"half the peers at 64kB/s", func(c *simpeer.SwarmConfig) {
+				c.LeecherBandwidths = half
+			}},
+		}
+	case "varbw":
+		variants = []variant{
+			{"fixed bandwidth", nil},
+			{"drops to half mid-clip", func(c *simpeer.SwarmConfig) {
+				c.BandwidthSchedule = []netem.BandwidthStep{
+					{At: 40 * time.Second, BytesPerSec: c.BandwidthBytesPerSec / 2},
+					{At: 80 * time.Second, BytesPerSec: c.BandwidthBytesPerSec},
+				}
+			}},
+		}
+	default:
+		return fmt.Errorf("unknown ablation %q", name)
+	}
+
+	fmt.Printf("Ablation %q (4s splicing, adaptive pooling)\n", name)
+	fmt.Printf("%-24s | %-8s | %8s | %10s | %9s\n", "variant", "kB/s", "stalls", "stall sec", "startup")
+	for _, v := range variants {
+		for _, bw := range bandwidths {
+			pts, err := p.Sweep(splicer.DurationSplicer{Target: 4 * time.Second}, core.AdaptivePool{}, []int64{bw}, v.mod)
+			if err != nil {
+				return err
+			}
+			pt := pts[0]
+			fmt.Printf("%-24s | %-8d | %8.1f | %10.1f | %9.1f\n",
+				v.label, bw, pt.Stalls, pt.StallSeconds, pt.StartupSecs)
+		}
+	}
+	return nil
+}

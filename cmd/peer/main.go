@@ -1,0 +1,123 @@
+// Command peer joins a swarm as a viewer: it downloads the clip with the
+// chosen pooling policy, "plays" it, and reports startup time and stalls —
+// the measurements in the paper's Figures 2-5, on a real network.
+//
+// Usage:
+//
+//	peer -tracker http://127.0.0.1:7070 -info-hash HEX
+//	     [-policy adaptive|pool-2|pool-4|pool-8] [-listen 127.0.0.1:0]
+//	     [-shape-kbps 128] [-shape-latency 25ms] [-progress]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"p2psplice/internal/core"
+	"p2psplice/internal/peer"
+	"p2psplice/internal/player"
+	"p2psplice/internal/shaper"
+	"p2psplice/internal/tracker"
+	"p2psplice/internal/wire"
+)
+
+func main() {
+	var (
+		trackerURL = flag.String("tracker", "http://127.0.0.1:7070", "tracker base URL")
+		infoHash   = flag.String("info-hash", "", "swarm info hash (hex)")
+		policyName = flag.String("policy", "adaptive", "download policy: adaptive or pool-N")
+		listen     = flag.String("listen", "127.0.0.1:0", "peer listen address")
+		shapeKBps  = flag.Int64("shape-kbps", 0, "shape the access link to this many kB/s (0 = unshaped)")
+		shapeLat   = flag.Duration("shape-latency", 0, "access-link setup latency")
+		progress   = flag.Bool("progress", false, "print download progress")
+		timeout    = flag.Duration("timeout", 30*time.Minute, "abort if not complete after this long")
+	)
+	flag.Parse()
+	if err := run(*trackerURL, *infoHash, *policyName, *listen, *shapeKBps, *shapeLat, *progress, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "peer:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(name string) (core.Policy, error) {
+	if name == "adaptive" {
+		return core.AdaptivePool{}, nil
+	}
+	if k, ok := strings.CutPrefix(name, "pool-"); ok {
+		n, err := strconv.Atoi(k)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad pool size in %q", name)
+		}
+		return core.FixedPool{K: n}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want adaptive or pool-N)", name)
+}
+
+func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
+	shapeLat time.Duration, progress bool, timeout time.Duration) error {
+	ih, err := wire.ParseInfoHash(infoHash)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	cfg := peer.Config{ListenAddr: listen, Policy: policy, AnnounceInterval: 5 * time.Second}
+	if shapeKBps > 0 || shapeLat > 0 {
+		cfg.Shape = &shaper.Config{RateBytesPerSec: shapeKBps * 1024, Latency: shapeLat}
+	}
+
+	trk := tracker.NewClient(trackerURL, nil)
+	node, err := peer.Join(trk, ih, cfg)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	m := node.Manifest()
+	fmt.Printf("joined swarm %s: %d segments, %v clip, policy %s\n",
+		ih, len(m.Segments), m.Video.Duration.Round(time.Millisecond), policy.Name())
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	if progress {
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				st := node.Stats()
+				pm := node.Playback()
+				fmt.Printf("  %3d/%3d segments, %8d bytes, state=%s pos=%v\n",
+					st.SegmentsHeld, len(m.Segments), st.DownloadedBytes, pm.State, pm.Position.Round(time.Second))
+			}
+		}()
+	}
+
+	if err := node.WaitComplete(ctx); err != nil {
+		return fmt.Errorf("download incomplete: %w", err)
+	}
+	pm := node.Playback()
+	fmt.Printf("download complete: startup=%v stalls=%d totalStall=%v\n",
+		pm.StartupTime.Round(time.Millisecond), pm.Stalls, pm.TotalStall.Round(time.Millisecond))
+
+	// Keep seeding until playback would have finished, then report.
+	if pm.State != player.StateFinished {
+		remaining := m.Video.Duration - pm.Position
+		fmt.Printf("seeding while playback drains (%v remaining)\n", remaining.Round(time.Second))
+		select {
+		case <-time.After(remaining + time.Second):
+		case <-ctx.Done():
+		}
+		pm = node.Playback()
+	}
+	fmt.Printf("final: state=%s startup=%v stalls=%d totalStall=%v\n",
+		pm.State, pm.StartupTime.Round(time.Millisecond), pm.Stalls, pm.TotalStall.Round(time.Millisecond))
+	return nil
+}

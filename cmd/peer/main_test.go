@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"p2psplice/internal/core"
+)
+
+func TestParsePolicy(t *testing.T) {
+	p, err := parsePolicy("adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(core.AdaptivePool); !ok {
+		t.Errorf("adaptive parsed as %T", p)
+	}
+	p, err = parsePolicy("pool-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, ok := p.(core.FixedPool); !ok || fp.K != 4 {
+		t.Errorf("pool-4 parsed as %#v", p)
+	}
+	for _, bad := range []string{"", "pool-", "pool-0", "pool-x", "magic"} {
+		if _, err := parsePolicy(bad); err == nil {
+			t.Errorf("parsePolicy(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command tracker runs the swarm rendezvous service.
+//
+// Usage:
+//
+//	tracker [-listen 127.0.0.1:7070] [-ttl 2m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"p2psplice/internal/tracker"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7070", "HTTP listen address")
+		ttl    = flag.Duration("ttl", tracker.DefaultPeerTTL, "announce freshness window")
+	)
+	flag.Parse()
+
+	srv := tracker.NewServer(tracker.WithPeerTTL(*ttl))
+	fmt.Printf("tracker listening on http://%s (peer TTL %v)\n", *listen, *ttl)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "tracker:", err)
+		os.Exit(1)
+	}
+}

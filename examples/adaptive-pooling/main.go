@@ -1,0 +1,41 @@
+// Adaptive pooling: the paper's Figure 5 experiment at a reduced scale —
+// Equation 1 (k = max(floor(B*T/W), 1)) against fixed download pools — plus
+// a direct demonstration of the formula's behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p2psplice"
+)
+
+func main() {
+	// The formula itself: how many segments should a peer fetch at once?
+	fmt.Println("Equation 1: k = max(floor(B*T/W), 1)  (W = 512 kB segment)")
+	fmt.Println("  T ->      0s   2s   4s   8s  16s")
+	for _, bwKB := range []int64{128, 256, 512, 1024} {
+		fmt.Printf("  B=%4d kB/s", bwKB)
+		for _, t := range []time.Duration{0, 2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second} {
+			k := p2psplice.AdaptivePool{}.PoolSize(bwKB*1024, t, 512*1024)
+			fmt.Printf(" %4d", k)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// The swarm experiment: adaptive pooling vs fixed pools.
+	params := p2psplice.QuickParams()
+	params.ClipDuration = time.Minute
+	params.Leechers = 8
+	fig5, err := params.Fig5Pooling([]int64{128, 256, 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig5.Figure.Render())
+
+	fmt.Println("The cost of over-pooling shows up most clearly in startup time: a fixed")
+	fmt.Println("pool of 8 splits the first download eight ways while the viewer stares at")
+	fmt.Println("a spinner; Equation 1 downloads exactly one segment when T = 0.")
+}

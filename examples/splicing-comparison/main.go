@@ -1,0 +1,44 @@
+// Splicing comparison: the paper's core experiment (Figures 2 and 3) at a
+// reduced scale — GOP-based versus 2/4/8-second duration-based splicing on
+// the emulated 20-node star, plus the Section II byte-overhead table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p2psplice"
+)
+
+func main() {
+	params := p2psplice.QuickParams()
+	params.ClipDuration = time.Minute
+	params.Leechers = 8
+
+	table, err := params.SpliceOverheadTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.Figure.Render())
+
+	fig2, err := params.Fig2Stalls([]int64{128, 256, 512, 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig2.Figure.Render())
+
+	fig3, err := params.Fig3StallDuration([]int64{128, 256, 512, 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig3.Figure.Render())
+
+	fmt.Println("Reading the tables:")
+	fmt.Println(" - GOP splicing transfers the fewest bytes (no inserted I frames) but its")
+	fmt.Println("   segment sizes are heavy-tailed: one stationary scene can produce a")
+	fmt.Println("   multi-megabyte segment that the viewer must wait through.")
+	fmt.Println(" - 2s splicing pays the most byte overhead (an extra I frame every 2s),")
+	fmt.Println("   which hurts exactly when bandwidth is scarce.")
+	fmt.Println(" - 4s is the paper's sweet spot; 8s trades startup time for stability.")
+}

@@ -1,0 +1,3 @@
+module p2psplice
+
+go 1.22

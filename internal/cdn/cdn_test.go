@@ -1,0 +1,304 @@
+package cdn
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/media"
+	"p2psplice/internal/player"
+	"p2psplice/internal/splicer"
+)
+
+// buildVariant splices the shared test clip at one target duration.
+func buildVariant(t *testing.T, v *media.Video, target time.Duration) (*container.Manifest, [][]byte) {
+	t.Helper()
+	segs, err := splicer.DurationSplicer{Target: target}.Splice(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, blobs, err := container.BuildManifest(container.ClipInfo{
+		Duration: v.Duration(), BytesPerSecond: v.Config.BytesPerSecond, Seed: v.Seed,
+	}, splicer.DurationSplicer{Target: target}.Name(), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, blobs
+}
+
+// testVideo produces an 8-second low-rate clip whose 2/4/8s variants align.
+func testVideo(t *testing.T) *media.Video {
+	t.Helper()
+	cfg := media.DefaultEncoderConfig()
+	cfg.BytesPerSecond = 16 * 1024
+	v, err := media.Synthesize(cfg, 8*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func newOriginServer(t *testing.T, v *media.Video, targets ...time.Duration) (*Origin, *httptest.Server) {
+	t.Helper()
+	o := NewOrigin()
+	for _, target := range targets {
+		m, blobs := buildVariant(t, v, target)
+		if err := o.AddVariant(splicer.DurationSplicer{Target: target}.Name(), m, blobs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(o.Handler())
+	t.Cleanup(srv.Close)
+	return o, srv
+}
+
+func TestOriginValidation(t *testing.T) {
+	v := testVideo(t)
+	m, blobs := buildVariant(t, v, 2*time.Second)
+	o := NewOrigin()
+	if err := o.AddVariant("bad name", m, blobs); err == nil {
+		t.Error("name with space: want error")
+	}
+	if err := o.AddVariant("x/y", m, blobs); err == nil {
+		t.Error("name with slash: want error")
+	}
+	if err := o.AddVariant("2s", m, blobs[:1]); err == nil {
+		t.Error("missing blobs: want error")
+	}
+	if err := o.AddVariant("2s", m, blobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddVariant("2s", m, blobs); err == nil {
+		t.Error("duplicate variant: want error")
+	}
+	if got := o.VariantNames(); len(got) != 1 || got[0] != "2s" {
+		t.Errorf("VariantNames = %v", got)
+	}
+}
+
+func TestOriginHTTPEndpoints(t *testing.T) {
+	v := testVideo(t)
+	_, srv := newOriginServer(t, v, 2*time.Second)
+
+	get := func(path string) int {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := map[string]int{
+		"/variants":      200,
+		"/manifest/2s":   200,
+		"/manifest/zz":   404,
+		"/segment/2s/0":  200,
+		"/segment/2s/99": 400,
+		"/segment/2s/-1": 400,
+		"/segment/zz/0":  404,
+	}
+	for path, want := range cases {
+		if got := get(path); got != want {
+			t.Errorf("GET %s = %d, want %d", path, got, want)
+		}
+	}
+}
+
+func TestChooseSegmentPrefersLargestWithinBound(t *testing.T) {
+	v := testVideo(t)
+	m2, _ := buildVariant(t, v, 2*time.Second)
+	m4, _ := buildVariant(t, v, 4*time.Second)
+	m8, _ := buildVariant(t, v, 8*time.Second)
+	manifests := []*container.Manifest{m2, m4, m8}
+	names := []string{"2s", "4s", "8s"}
+
+	// Huge bandwidth and buffer: the 8s segment wins.
+	c, ok := ChooseSegment(manifests, names, 0, 1<<30, 10*time.Second)
+	if !ok || c.Variant != "8s" {
+		t.Errorf("rich client chose %+v, want 8s", c)
+	}
+	// T = 0 (startup): smallest segment wins.
+	c, ok = ChooseSegment(manifests, names, 0, 1<<30, 0)
+	if !ok || c.Variant != "2s" {
+		t.Errorf("startup chose %+v, want 2s", c)
+	}
+	// Mid-range: bound above 4s's size but below 8s's size.
+	limit4 := m4.Segments[0].Bytes
+	bw := int64(limit4) // with T=1s, limit = limit4 exactly
+	c, ok = ChooseSegment(manifests, names, 0, bw, time.Second)
+	if !ok || c.Variant != "4s" {
+		t.Errorf("mid client chose %+v, want 4s", c)
+	}
+	// Frontier at the 2s variant's second boundary (NB: frame durations
+	// truncate, so boundaries sit just shy of whole seconds): only the 2s
+	// variant has a segment starting there.
+	c, ok = ChooseSegment(manifests, names, m2.Segments[1].Start, 1<<30, 10*time.Second)
+	if !ok || c.Variant != "2s" || c.Index != 1 {
+		t.Errorf("misaligned frontier chose %+v, want 2s[1]", c)
+	}
+	// Frontier at the 4s variant's second boundary: 2s and 4s are eligible,
+	// 8s is not; the larger 4s segment wins.
+	c, ok = ChooseSegment(manifests, names, m4.Segments[1].Start, 1<<30, 10*time.Second)
+	if !ok || c.Variant != "4s" || c.Index != 1 {
+		t.Errorf("frontier at 4s chose %+v, want 4s[1]", c)
+	}
+	// No boundary anywhere.
+	if _, ok := ChooseSegment(manifests, names, 3*time.Second+7, 1<<30, time.Second); ok {
+		t.Error("frontier off every boundary should not resolve")
+	}
+}
+
+func TestClientStreamsWholeClip(t *testing.T) {
+	v := testVideo(t)
+	_, srv := newOriginServer(t, v, 2*time.Second, 4*time.Second, 8*time.Second)
+	c, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Variants(); len(got) != 3 {
+		t.Fatalf("Variants = %v", got)
+	}
+	// A virtual clock makes the whole session instantaneous and gives the
+	// client a generous buffer so it climbs the duration ladder.
+	var virtual time.Duration
+	c.now = func() time.Duration { return virtual }
+	res, err := c.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var covered time.Duration
+	for _, ch := range res.Choices {
+		m := c.manifests[indexOf(c.names, ch.Variant)]
+		covered += m.Segments[ch.Index].Duration
+	}
+	if covered != v.Duration() {
+		t.Errorf("choices cover %v, want %v", covered, v.Duration())
+	}
+	if res.Bytes == 0 {
+		t.Error("no bytes downloaded")
+	}
+	if res.Metrics.State != player.StateFinished {
+		t.Errorf("final state %v, want finished", res.Metrics.State)
+	}
+	// With instant downloads the very first fetch is the only one at T=0:
+	// later fetches should climb to larger segments.
+	first := res.Choices[0]
+	if first.Variant != "2s" {
+		t.Errorf("first fetch used %s, want 2s (T=0 rule)", first.Variant)
+	}
+	if len(res.Choices) >= 2 {
+		last := res.Choices[len(res.Choices)-1]
+		if last.Variant == "2s" {
+			t.Logf("note: client never climbed the ladder: %+v", res.Choices)
+		}
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	ctx := context.Background()
+	c, err := NewClient("http://127.0.0.1:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream(ctx); err == nil {
+		t.Error("Stream before Load: want error")
+	}
+	if err := c.Load(ctx); err == nil {
+		t.Error("Load against dead origin: want error")
+	}
+	// An origin with mismatched variant durations is rejected.
+	v1 := testVideo(t)
+	cfg := media.DefaultEncoderConfig()
+	cfg.BytesPerSecond = 16 * 1024
+	v2, err := media.Synthesize(cfg, 4*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrigin()
+	m1, b1 := buildVariant(t, v1, 2*time.Second)
+	m2, b2 := buildVariant(t, v2, 2*time.Second)
+	if err := o.AddVariant("a", m1, b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddVariant("b", m2, b2); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	c2, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Load(ctx); err == nil {
+		t.Error("mismatched clip durations: want error")
+	}
+}
+
+func TestTimelinePlayerStallAccounting(t *testing.T) {
+	tp := newTimelinePlayer(10 * time.Second)
+	if err := tp.start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.start(0); err == nil {
+		t.Error("double start: want error")
+	}
+	// 4s of video arrives at t=1: startup 1s, playing.
+	tp.advanceFrontier(4*time.Second, time.Second)
+	if got := tp.bufferedAhead(2 * time.Second); got != 3*time.Second {
+		t.Errorf("buffered = %v, want 3s", got)
+	}
+	// Next 6s arrive at t=8: the playhead hit the 4s frontier at t=5.
+	tp.advanceFrontier(10*time.Second, 8*time.Second)
+	m := tp.metrics(8 * time.Second)
+	if m.StartupTime != time.Second {
+		t.Errorf("startup = %v, want 1s", m.StartupTime)
+	}
+	if m.Stalls != 1 || m.TotalStall != 3*time.Second {
+		t.Errorf("stalls = %d/%v, want 1/3s", m.Stalls, m.TotalStall)
+	}
+	if m.State != player.StateFinished {
+		t.Errorf("projected state = %v, want finished", m.State)
+	}
+	// Played 4s (1..5), stalled (5..8), played 6s (8..14).
+	if m.FinishedAt != 14*time.Second {
+		t.Errorf("FinishedAt = %v, want 14s", m.FinishedAt)
+	}
+}
+
+func TestOriginPlaylistEndpoint(t *testing.T) {
+	v := testVideo(t)
+	_, srv := newOriginServer(t, v, 2*time.Second)
+	resp, err := srv.Client().Get(srv.URL + "/playlist/2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /playlist/2s = %d", resp.StatusCode)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	out := string(body[:n])
+	if !strings.HasPrefix(out, "#EXTM3U") {
+		t.Errorf("playlist does not start with #EXTM3U: %q", out[:min(40, len(out))])
+	}
+	if !strings.Contains(out, "/segment/2s/0.seg") {
+		t.Errorf("playlist missing segment URI:\n%s", out)
+	}
+	resp2, err := srv.Client().Get(srv.URL + "/playlist/zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Errorf("GET /playlist/zz = %d, want 404", resp2.StatusCode)
+	}
+}

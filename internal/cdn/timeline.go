@@ -1,0 +1,121 @@
+package cdn
+
+import (
+	"fmt"
+	"time"
+
+	"p2psplice/internal/player"
+)
+
+// timelinePlayer tracks playback against a continuously advancing download
+// frontier. It is the variant-switching analogue of player.Player: the
+// segment layout is not fixed up front (each fetch may come from a different
+// splicing variant), so the buffer is tracked in clip time directly.
+type timelinePlayer struct {
+	clip     time.Duration
+	frontier time.Duration
+	pos      time.Duration
+	last     time.Duration
+	state    player.State
+
+	startedAt  time.Duration
+	startup    time.Duration
+	stallStart time.Duration
+	stalls     []player.Interval
+	finishedAt time.Duration
+}
+
+func newTimelinePlayer(clip time.Duration) *timelinePlayer {
+	return &timelinePlayer{clip: clip, state: player.StateIdle}
+}
+
+func (t *timelinePlayer) start(now time.Duration) error {
+	if t.state != player.StateIdle {
+		return fmt.Errorf("cdn: timeline player started twice")
+	}
+	t.state = player.StateWaiting
+	t.startedAt = now
+	t.last = now
+	return nil
+}
+
+// advance moves the playhead to now.
+func (t *timelinePlayer) advance(now time.Duration) {
+	if now < t.last {
+		now = t.last
+	}
+	if t.state == player.StatePlaying {
+		newPos := t.pos + (now - t.last)
+		switch {
+		case newPos >= t.clip && t.frontier >= t.clip:
+			t.finishedAt = t.last + (t.clip - t.pos)
+			t.pos = t.clip
+			t.state = player.StateFinished
+		case newPos >= t.frontier:
+			t.stallStart = t.last + (t.frontier - t.pos)
+			t.pos = t.frontier
+			t.state = player.StateStalled
+		default:
+			t.pos = newPos
+		}
+	}
+	t.last = now
+}
+
+// advanceFrontier records that the clip is downloaded through f.
+func (t *timelinePlayer) advanceFrontier(f, now time.Duration) {
+	t.advance(now)
+	if f > t.frontier {
+		t.frontier = f
+	}
+	switch t.state {
+	case player.StateWaiting:
+		t.startup = now - t.startedAt
+		t.state = player.StatePlaying
+	case player.StateStalled:
+		if t.frontier > t.pos {
+			if now > t.stallStart {
+				t.stalls = append(t.stalls, player.Interval{Start: t.stallStart, End: now})
+			}
+			t.state = player.StatePlaying
+		}
+	}
+}
+
+func (t *timelinePlayer) bufferedAhead(now time.Duration) time.Duration {
+	t.advance(now)
+	return t.frontier - t.pos
+}
+
+// finish is called when downloading completes; no further frontier events
+// will arrive.
+func (t *timelinePlayer) finish(now time.Duration) {
+	t.advance(now)
+}
+
+// metrics projects the final playback outcome. Once the frontier covers the
+// clip no more stalls can occur, so the projection to the finish instant is
+// exact.
+func (t *timelinePlayer) metrics(now time.Duration) player.Metrics {
+	horizon := now
+	if t.frontier >= t.clip {
+		horizon = now + t.clip + time.Second
+	}
+	t.advance(horizon)
+	m := player.Metrics{
+		State:          t.state,
+		StartupTime:    t.startup,
+		Stalls:         len(t.stalls),
+		StallIntervals: append([]player.Interval(nil), t.stalls...),
+		Position:       t.pos,
+		FinishedAt:     t.finishedAt,
+	}
+	for _, iv := range t.stalls {
+		m.TotalStall += iv.Duration()
+	}
+	if t.state == player.StateStalled && horizon > t.stallStart {
+		m.Stalls++
+		m.TotalStall += horizon - t.stallStart
+	}
+	return m
+}

@@ -1,0 +1,85 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"p2psplice/internal/media"
+	"p2psplice/internal/splicer"
+)
+
+// FuzzDecode checks that the container decoder never panics and never
+// accepts corrupted input as valid.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid container and mutations of it.
+	v, err := media.Synthesize(media.DefaultEncoderConfig(), 4*time.Second, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	segs, err := splicer.DurationSplicer{Target: 2 * time.Second}.Splice(v)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cs, err := Build(segs[0], 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := EncodeBytes(cs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	mutated := append([]byte(nil), blob...)
+	mutated[len(mutated)/3] ^= 0x42
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeBytes(data)
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Anything accepted must re-encode to the identical bytes.
+		out, err := EncodeBytes(s)
+		if err != nil {
+			t.Fatalf("decoded container failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("decode/encode not a bijection on accepted input")
+		}
+	})
+}
+
+// FuzzReadManifest checks the manifest parser never panics.
+func FuzzReadManifest(f *testing.F) {
+	v, err := media.Synthesize(media.DefaultEncoderConfig(), 4*time.Second, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	segs, err := splicer.DurationSplicer{Target: 2 * time.Second}.Splice(v)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, _, err := BuildManifest(ClipInfo{
+		Duration: v.Duration(), BytesPerSecond: v.Config.BytesPerSecond, Seed: 1,
+	}, "2s", segs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadManifest(bytes.NewReader(data))
+		if err == nil && m.Validate() != nil {
+			t.Fatal("ReadManifest returned an invalid manifest without error")
+		}
+	})
+}

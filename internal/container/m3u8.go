@@ -1,0 +1,47 @@
+package container
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteM3U8 renders the manifest as an HLS media playlist (RFC 8216), the
+// format the paper's framing is built around ("In HTTP live streaming (HLS),
+// a video is spliced into multiple segments"). Segment URIs are
+// baseURL/<index>.seg; a standard HLS player pointed at a server that maps
+// those URIs to the encoded containers will play the clip's timeline.
+func (m *Manifest) WriteM3U8(w io.Writer, baseURL string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+
+	// EXT-X-TARGETDURATION is the maximum segment duration, rounded up.
+	var target float64
+	for _, s := range m.Segments {
+		if d := s.Duration.Seconds(); d > target {
+			target = d
+		}
+	}
+	var b strings.Builder
+	b.WriteString("#EXTM3U\n")
+	b.WriteString("#EXT-X-VERSION:3\n")
+	fmt.Fprintf(&b, "#EXT-X-TARGETDURATION:%d\n", int(math.Ceil(target)))
+	b.WriteString("#EXT-X-MEDIA-SEQUENCE:0\n")
+	b.WriteString("#EXT-X-PLAYLIST-TYPE:VOD\n")
+	for _, s := range m.Segments {
+		fmt.Fprintf(&b, "#EXTINF:%.5f,\n", s.Duration.Seconds())
+		if baseURL != "" {
+			fmt.Fprintf(&b, "%s/%d.seg\n", baseURL, s.Index)
+		} else {
+			fmt.Fprintf(&b, "%d.seg\n", s.Index)
+		}
+	}
+	b.WriteString("#EXT-X-ENDLIST\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("container: write playlist: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package container
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"p2psplice/internal/splicer"
+)
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// Manifest is the playlist a seeder publishes: clip metadata plus the
+// ordered segment index with per-segment checksums. It plays the role the
+// HLS playlist plays in the paper's HTTP-streaming framing and the role the
+// torrent metainfo plays in its BitTorrent-like protocol.
+type Manifest struct {
+	Version int      `json:"version"`
+	Video   ClipInfo `json:"video"`
+	// Splicing is the splicer label that produced the segments ("gop", "4s"...).
+	Splicing string        `json:"splicing"`
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// ClipInfo describes the source clip.
+type ClipInfo struct {
+	// Duration is the clip display duration in nanoseconds.
+	Duration time.Duration `json:"duration_ns"`
+	// BytesPerSecond is the clip's coded rate.
+	BytesPerSecond int64 `json:"bytes_per_second"`
+	// Seed identifies the synthetic clip (reproducibility metadata).
+	Seed int64 `json:"seed"`
+}
+
+// SegmentInfo is one manifest entry.
+type SegmentInfo struct {
+	Index int `json:"index"`
+	// Start and Duration are display times in nanoseconds.
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	// Bytes is the full container size on the wire.
+	Bytes int64 `json:"bytes"`
+	// SHA256 is the hex digest of the encoded container.
+	SHA256 string `json:"sha256"`
+	// InsertedIFrame records duration-splicing keyframe insertion.
+	InsertedIFrame bool `json:"inserted_iframe,omitempty"`
+}
+
+// BuildManifest materializes every segment (via Build/Encode) and assembles
+// the manifest plus the encoded container blobs, keyed by segment index.
+func BuildManifest(info ClipInfo, splicing string, segs []splicer.Segment) (*Manifest, [][]byte, error) {
+	if len(segs) == 0 {
+		return nil, nil, fmt.Errorf("container: no segments")
+	}
+	m := &Manifest{
+		Version:  ManifestVersion,
+		Video:    info,
+		Splicing: splicing,
+		Segments: make([]SegmentInfo, len(segs)),
+	}
+	blobs := make([][]byte, len(segs))
+	for i, sg := range segs {
+		cs, err := Build(sg, info.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("container: segment %d: %w", i, err)
+		}
+		blob, err := EncodeBytes(cs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("container: segment %d: %w", i, err)
+		}
+		sum := sha256.Sum256(blob)
+		m.Segments[i] = SegmentInfo{
+			Index:          sg.Index,
+			Start:          sg.Start,
+			Duration:       sg.Duration(),
+			Bytes:          int64(len(blob)),
+			SHA256:         hex.EncodeToString(sum[:]),
+			InsertedIFrame: sg.InsertedIFrame,
+		}
+		blobs[i] = blob
+	}
+	return m, blobs, nil
+}
+
+// Validate checks the manifest's structural invariants: version, contiguous
+// indices and presentation times, positive sizes, well-formed checksums.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("container: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if len(m.Segments) == 0 {
+		return fmt.Errorf("container: manifest has no segments")
+	}
+	if m.Video.Duration <= 0 {
+		return fmt.Errorf("container: manifest clip duration %v", m.Video.Duration)
+	}
+	var at time.Duration
+	for i, s := range m.Segments {
+		if s.Index != i {
+			return fmt.Errorf("container: manifest segment %d has index %d", i, s.Index)
+		}
+		if s.Start != at {
+			return fmt.Errorf("container: manifest segment %d starts at %v, want %v", i, s.Start, at)
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("container: manifest segment %d has duration %v", i, s.Duration)
+		}
+		if s.Bytes <= 0 {
+			return fmt.Errorf("container: manifest segment %d has size %d", i, s.Bytes)
+		}
+		if b, err := hex.DecodeString(s.SHA256); err != nil || len(b) != sha256.Size {
+			return fmt.Errorf("container: manifest segment %d has bad checksum %q", i, s.SHA256)
+		}
+		at += s.Duration
+	}
+	if at != m.Video.Duration {
+		return fmt.Errorf("container: manifest segments cover %v, want %v", at, m.Video.Duration)
+	}
+	return nil
+}
+
+// TotalBytes returns the sum of all segment container sizes.
+func (m *Manifest) TotalBytes() int64 {
+	var n int64
+	for _, s := range m.Segments {
+		n += s.Bytes
+	}
+	return n
+}
+
+// VerifySegment checks an encoded container blob against manifest entry idx.
+func (m *Manifest) VerifySegment(idx int, blob []byte) error {
+	if idx < 0 || idx >= len(m.Segments) {
+		return fmt.Errorf("container: segment index %d out of range", idx)
+	}
+	want := m.Segments[idx]
+	if int64(len(blob)) != want.Bytes {
+		return fmt.Errorf("container: segment %d is %d bytes, manifest says %d", idx, len(blob), want.Bytes)
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != want.SHA256 {
+		return fmt.Errorf("container: segment %d checksum mismatch", idx)
+	}
+	return nil
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("container: encode manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest parses and validates a JSON manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("container: decode manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

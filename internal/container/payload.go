@@ -1,0 +1,43 @@
+package container
+
+// GeneratePayload produces n deterministic pseudo-random bytes for segment
+// segIndex of the clip identified by seed. It stands in for real coded video
+// data: two seeders configured with the same clip seed emit byte-identical
+// segments, so checksums published in the manifest verify across the swarm.
+func GeneratePayload(seed int64, segIndex, n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	// splitmix64 keyed by (seed, segIndex); fast and reproducible.
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(segIndex+1)*0xBF58476D1CE4E5B9
+	i := 0
+	for i+8 <= n {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		out[i] = byte(z)
+		out[i+1] = byte(z >> 8)
+		out[i+2] = byte(z >> 16)
+		out[i+3] = byte(z >> 24)
+		out[i+4] = byte(z >> 32)
+		out[i+5] = byte(z >> 40)
+		out[i+6] = byte(z >> 48)
+		out[i+7] = byte(z >> 56)
+		i += 8
+	}
+	if i < n {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		for ; i < n; i++ {
+			out[i] = byte(z)
+			z >>= 8
+		}
+	}
+	return out
+}

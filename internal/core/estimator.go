@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BandwidthEstimator tracks available bandwidth from completed transfers
+// using an exponentially weighted moving average. The paper simulated a
+// known bandwidth on GENI and cites Libswift-style estimation for the real
+// world; this estimator is the real-world counterpart and the experiment
+// harness ablates it against an oracle.
+//
+// The zero value is not ready for use; construct with NewBandwidthEstimator.
+// Methods are safe for concurrent use.
+type BandwidthEstimator struct {
+	mu       sync.Mutex
+	alpha    float64
+	estimate float64 // bytes/second; 0 until the first observation
+	samples  int
+}
+
+// DefaultEWMAAlpha is the default smoothing factor: responsive enough to
+// track congestion onset within a few segment downloads without chasing
+// single-transfer noise.
+const DefaultEWMAAlpha = 0.3
+
+// NewBandwidthEstimator returns an estimator with smoothing factor alpha in
+// (0, 1]. alpha = 1 tracks only the latest sample.
+func NewBandwidthEstimator(alpha float64) (*BandwidthEstimator, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: alpha must be in (0, 1], got %v", alpha)
+	}
+	return &BandwidthEstimator{alpha: alpha}, nil
+}
+
+// Observe records a completed transfer of n bytes taking elapsed time.
+// Non-positive inputs are ignored.
+func (e *BandwidthEstimator) Observe(n int64, elapsed time.Duration) {
+	if n <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(n) / elapsed.Seconds()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.samples == 0 {
+		e.estimate = rate
+	} else {
+		e.estimate = e.alpha*rate + (1-e.alpha)*e.estimate
+	}
+	e.samples++
+}
+
+// Estimate returns the current bandwidth estimate in bytes/second, or 0 if
+// nothing has been observed yet.
+func (e *BandwidthEstimator) Estimate() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int64(e.estimate)
+}
+
+// Samples returns the number of observations recorded.
+func (e *BandwidthEstimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}

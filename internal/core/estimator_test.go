@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewBandwidthEstimatorValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := NewBandwidthEstimator(alpha); err == nil {
+			t.Errorf("alpha=%v: want error", alpha)
+		}
+	}
+	if _, err := NewBandwidthEstimator(1); err != nil {
+		t.Errorf("alpha=1: unexpected error %v", err)
+	}
+}
+
+func TestEstimatorFirstSample(t *testing.T) {
+	e, err := NewBandwidthEstimator(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Estimate() != 0 || e.Samples() != 0 {
+		t.Error("fresh estimator should report zero")
+	}
+	e.Observe(1024, time.Second)
+	if got := e.Estimate(); got != 1024 {
+		t.Errorf("first sample estimate = %d, want 1024", got)
+	}
+	if e.Samples() != 1 {
+		t.Errorf("Samples = %d, want 1", e.Samples())
+	}
+}
+
+func TestEstimatorSmoothing(t *testing.T) {
+	e, err := NewBandwidthEstimator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(1000, time.Second) // est = 1000
+	e.Observe(2000, time.Second) // est = 0.5*2000 + 0.5*1000 = 1500
+	if got := e.Estimate(); got != 1500 {
+		t.Errorf("estimate = %d, want 1500", got)
+	}
+}
+
+func TestEstimatorConvergence(t *testing.T) {
+	e, err := NewBandwidthEstimator(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(64*1024, time.Second)
+	}
+	got := e.Estimate()
+	if got < 63*1024 || got > 65*1024 {
+		t.Errorf("estimate = %d, want ~%d", got, 64*1024)
+	}
+}
+
+func TestEstimatorIgnoresBadSamples(t *testing.T) {
+	e, err := NewBandwidthEstimator(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(0, time.Second)
+	e.Observe(-5, time.Second)
+	e.Observe(100, 0)
+	e.Observe(100, -time.Second)
+	if e.Samples() != 0 {
+		t.Errorf("bad samples were recorded: %d", e.Samples())
+	}
+}
+
+func TestEstimatorConcurrent(t *testing.T) {
+	e, err := NewBandwidthEstimator(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				e.Observe(1024, time.Second)
+				_ = e.Estimate()
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Samples() != 800 {
+		t.Errorf("Samples = %d, want 800", e.Samples())
+	}
+	if got := e.Estimate(); got != 1024 {
+		t.Errorf("estimate = %d, want 1024", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package experiment regenerates the paper's evaluation: one function per
+// figure (Figures 2-5), each sweeping the parameters Section V describes and
+// rendering the same series the paper plots, plus the ablations DESIGN.md
+// calls out. Absolute numbers are model-specific; the harness exists to
+// reproduce the figures' shapes (who wins, by how much, where the crossovers
+// fall).
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/core"
+	"p2psplice/internal/media"
+	"p2psplice/internal/metrics"
+	"p2psplice/internal/simpeer"
+	"p2psplice/internal/splicer"
+)
+
+// Params holds the experiment-wide knobs. The zero value is not useful;
+// start from DefaultParams (the paper's setup) or QuickParams (a scaled-down
+// variant for tests).
+type Params struct {
+	// ClipDuration is the video length (paper: 2 minutes).
+	ClipDuration time.Duration
+	// Encoder configures the synthetic clip (paper: 1 Mbps MPEG-4).
+	Encoder media.EncoderConfig
+	// VideoSeed fixes the synthetic clip.
+	VideoSeed int64
+	// Leechers is the number of viewers (paper: 19, plus the seeder = 20).
+	Leechers int
+	// Runs is the number of repetitions per sweep point; results are the
+	// rounded average, as in the paper.
+	Runs int
+	// BaseSeed seeds run r of a sweep point with BaseSeed + r.
+	BaseSeed int64
+	// LossPct is the access-link loss for the splicing/pooling sweeps
+	// (paper: 5).
+	LossPct float64
+	// JoinSpread staggers viewer joins (viewers do not press play in the
+	// same millisecond).
+	JoinSpread time.Duration
+	// ResumeBuffer is the player's rebuffering depth after a stall
+	// (VLC-like players rebuffer a few seconds before resuming).
+	ResumeBuffer time.Duration
+}
+
+// DefaultParams mirrors the paper's Section V setup.
+func DefaultParams() Params {
+	return Params{
+		ClipDuration: 2 * time.Minute,
+		Encoder:      media.DefaultEncoderConfig(),
+		VideoSeed:    42,
+		Leechers:     19,
+		Runs:         3,
+		BaseSeed:     1000,
+		LossPct:      5,
+		JoinSpread:   5 * time.Second,
+		ResumeBuffer: 6 * time.Second,
+	}
+}
+
+// QuickParams is a scaled-down variant (shorter clip, fewer peers, one run)
+// for tests and smoke benchmarks. The shapes survive the scaling.
+func QuickParams() Params {
+	p := DefaultParams()
+	p.ClipDuration = 40 * time.Second
+	p.Leechers = 6
+	p.Runs = 1
+	p.JoinSpread = 3 * time.Second
+	return p
+}
+
+// Video synthesizes the experiment clip.
+func (p Params) Video() (*media.Video, error) {
+	return media.Synthesize(p.Encoder, p.ClipDuration, p.VideoSeed)
+}
+
+// Segments splices the experiment clip with sp and returns the swarm-level
+// segment metadata, with wire sizes accounting for the container framing.
+func (p Params) Segments(sp splicer.Splicer) ([]simpeer.SegmentMeta, error) {
+	v, err := p.Video()
+	if err != nil {
+		return nil, err
+	}
+	segs, err := sp.Splice(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]simpeer.SegmentMeta, len(segs))
+	for i, s := range segs {
+		out[i] = simpeer.SegmentMeta{
+			Bytes:    container.WireSize(len(s.Frames), s.Bytes()),
+			Duration: s.Duration(),
+		}
+	}
+	return out, nil
+}
+
+// swarmConfig assembles the common swarm configuration.
+func (p Params) swarmConfig(bandwidthKB int64, policy core.Policy, seed int64) simpeer.SwarmConfig {
+	return simpeer.SwarmConfig{
+		Seed:                 seed,
+		Leechers:             p.Leechers,
+		BandwidthBytesPerSec: bandwidthKB * 1024,
+		PeerAccessDelay:      25 * time.Millisecond,
+		SeederAccessDelay:    25 * time.Millisecond,
+		LossRate:             p.LossPct / 100,
+		Policy:               policy,
+		OracleBandwidth:      true,
+		JoinSpread:           p.JoinSpread,
+		ResumeBuffer:         p.ResumeBuffer,
+	}
+}
+
+// Point is one sweep measurement: the paper's three playback measures,
+// averaged over leechers and runs.
+type Point struct {
+	BandwidthKB  int64
+	Stalls       float64
+	StallSeconds float64
+	StartupSecs  float64
+}
+
+// runPoint executes Runs repetitions at one sweep point and averages.
+func (p Params) runPoint(segs []simpeer.SegmentMeta, bandwidthKB int64, policy core.Policy,
+	mod func(*simpeer.SwarmConfig)) (Point, error) {
+	var stalls, stallSecs, startups []float64
+	for r := 0; r < p.Runs; r++ {
+		cfg := p.swarmConfig(bandwidthKB, policy, p.BaseSeed+int64(r))
+		if mod != nil {
+			mod(&cfg)
+		}
+		res, err := simpeer.RunSwarm(cfg, segs)
+		if err != nil {
+			return Point{}, fmt.Errorf("experiment: bandwidth %d kB/s: %w", bandwidthKB, err)
+		}
+		sum := res.Summary()
+		stalls = append(stalls, sum.MeanStalls)
+		stallSecs = append(stallSecs, sum.MeanStallSeconds)
+		startups = append(startups, sum.MeanStartupSeconds)
+	}
+	return Point{
+		BandwidthKB:  bandwidthKB,
+		Stalls:       metrics.Mean(stalls),
+		StallSeconds: metrics.Mean(stallSecs),
+		StartupSecs:  metrics.Mean(startups),
+	}, nil
+}
+
+// Sweep runs one series over the bandwidth axis.
+func (p Params) Sweep(sp splicer.Splicer, policy core.Policy, bandwidthsKB []int64,
+	mod func(*simpeer.SwarmConfig)) ([]Point, error) {
+	segs, err := p.Segments(sp)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, len(bandwidthsKB))
+	for _, bw := range bandwidthsKB {
+		pt, err := p.runPoint(segs, bw, policy, mod)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FigureResult is a rendered figure plus its raw series for assertions.
+type FigureResult struct {
+	Figure metrics.Figure
+	// Values maps series name to per-x numeric values.
+	Values map[string][]float64
+}
+
+// Series returns the numeric series for name, or nil.
+func (f *FigureResult) Series(name string) []float64 { return f.Values[name] }

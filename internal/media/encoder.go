@@ -1,0 +1,217 @@
+package media
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// EncoderConfig describes the synthetic encoder.
+//
+// The defaults model the clip used in the paper's evaluation: a 1 Mbps
+// (128 kB/s) MPEG-4 stream. Frame-size weights follow the conventional
+// MPEG-4 pattern where an I frame is roughly an order of magnitude larger
+// than a P frame and B frames are roughly half a P frame.
+type EncoderConfig struct {
+	// FPS is the frame rate. Must be positive.
+	FPS int
+	// BytesPerSecond is the target (CBR) coded rate in bytes per second.
+	BytesPerSecond int64
+	// MinGOP and MaxGOP bound the keyframe interval. High-motion scenes use
+	// intervals near MinGOP; stationary scenes approach MaxGOP, producing
+	// the "very long GOP" case the paper describes.
+	MinGOP time.Duration
+	MaxGOP time.Duration
+	// BFrames is the number of B frames between consecutive reference frames.
+	BFrames int
+	// IWeight and BWeight are frame-size weights relative to a P frame
+	// (weight 1.0). IWeight must be >= 1, BWeight in (0, 1].
+	IWeight float64
+	BWeight float64
+	// Scenes configures the scene/motion model.
+	Scenes SceneModel
+}
+
+// DefaultEncoderConfig returns the configuration matching the paper's clip:
+// 1 Mbps (125,000 B/s), 24 fps, GOPs between 0.5 s and 16 s. The I-frame
+// weight of 6 gives duration-based splicing the byte-overhead profile the
+// paper describes (2 s splicing pays roughly 10%, 8 s roughly 2%).
+func DefaultEncoderConfig() EncoderConfig {
+	return EncoderConfig{
+		FPS:            24,
+		BytesPerSecond: 125_000,
+		MinGOP:         500 * time.Millisecond,
+		MaxGOP:         16 * time.Second,
+		BFrames:        2,
+		IWeight:        6,
+		BWeight:        0.45,
+		Scenes:         DefaultSceneModel(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c EncoderConfig) Validate() error {
+	if c.FPS <= 0 {
+		return fmt.Errorf("media: FPS must be positive, got %d", c.FPS)
+	}
+	if c.BytesPerSecond <= 0 {
+		return fmt.Errorf("media: BytesPerSecond must be positive, got %d", c.BytesPerSecond)
+	}
+	if c.MinGOP <= 0 || c.MaxGOP < c.MinGOP {
+		return fmt.Errorf("media: need 0 < MinGOP <= MaxGOP, got %v/%v", c.MinGOP, c.MaxGOP)
+	}
+	if c.BFrames < 0 {
+		return fmt.Errorf("media: BFrames must be non-negative, got %d", c.BFrames)
+	}
+	if c.IWeight < 1 {
+		return fmt.Errorf("media: IWeight must be >= 1, got %v", c.IWeight)
+	}
+	if c.BWeight <= 0 || c.BWeight > 1 {
+		return fmt.Errorf("media: BWeight must be in (0, 1], got %v", c.BWeight)
+	}
+	return c.Scenes.Validate()
+}
+
+// Synthesize encodes a synthetic clip of the given duration. The result is
+// deterministic for a given (config, seed) pair.
+func Synthesize(cfg EncoderConfig, duration time.Duration, seed int64) (*Video, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("media: clip duration must be positive, got %v", duration)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scenes, err := cfg.Scenes.Generate(rng, duration)
+	if err != nil {
+		return nil, err
+	}
+
+	frameDur := time.Second / time.Duration(cfg.FPS)
+	totalFrames := int(duration / frameDur)
+	if totalFrames == 0 {
+		return nil, fmt.Errorf("media: clip of %v too short for %d fps", duration, cfg.FPS)
+	}
+
+	// Decide the frame type sequence: scene cuts and keyframe-interval expiry
+	// force I frames; within a GOP, references are separated by cfg.BFrames
+	// B frames.
+	v := &Video{Config: cfg, ClipDuration: time.Duration(totalFrames) * frameDur, Seed: seed}
+	sceneIdx := 0
+	lastSceneIdx := -1 // forces an I frame on the very first frame
+	var gop *GOP
+	var gopStart time.Duration
+	var sinceRef int // B frames emitted since the last reference frame
+
+	closeGOP := func() {
+		if gop != nil && len(gop.Frames) > 0 {
+			v.GOPs = append(v.GOPs, *gop)
+		}
+		gop = nil
+	}
+
+	for i := 0; i < totalFrames; i++ {
+		pts := time.Duration(i) * frameDur
+		for sceneIdx+1 < len(scenes) && pts >= scenes[sceneIdx+1].Start {
+			sceneIdx++
+		}
+		sc := scenes[sceneIdx]
+		// Target keyframe interval for this scene. The curve is convex in
+		// motion (geometric interpolation): typical scenes produce the short
+		// GOPs real encoders emit (a keyframe every 0.5-2 s), and only truly
+		// stationary scenes approach MaxGOP — the paper's "very long GOP"
+		// case. A linear curve would make mid-motion scenes produce
+		// implausibly large GOPs.
+		ratio := math.Pow(float64(cfg.MaxGOP)/float64(cfg.MinGOP), math.Pow(1-sc.Motion, 1.8))
+		gopTarget := time.Duration(float64(cfg.MinGOP) * ratio)
+		if gopTarget > cfg.MaxGOP {
+			gopTarget = cfg.MaxGOP
+		}
+
+		newGOP := gop == nil ||
+			sceneIdx != lastSceneIdx || // scene cut (first frame of a new scene)
+			pts-gopStart >= gopTarget // keyframe interval expired
+		lastSceneIdx = sceneIdx
+
+		var ft FrameType
+		switch {
+		case newGOP:
+			closeGOP()
+			gop = &GOP{}
+			gopStart = pts
+			sinceRef = 0
+			ft = FrameI
+		case cfg.BFrames > 0 && sinceRef < cfg.BFrames:
+			ft = FrameB
+			sinceRef++
+		default:
+			ft = FrameP
+			sinceRef = 0
+		}
+		gop.Frames = append(gop.Frames, Frame{
+			Index:    i,
+			Type:     ft,
+			PTS:      pts,
+			Duration: frameDur,
+		})
+	}
+	closeGOP()
+
+	// Assign frame sizes GOP by GOP so the stream is CBR at GOP granularity:
+	// each GOP's byte budget is rate * gopDuration, split by type weights.
+	for gi := range v.GOPs {
+		assignSizes(&v.GOPs[gi], cfg, sceneMotionAt(scenes, v.GOPs[gi].Start()))
+	}
+	return v, nil
+}
+
+// sceneMotionAt returns the motion level of the scene containing pts.
+func sceneMotionAt(scenes []Scene, pts time.Duration) float64 {
+	for i := len(scenes) - 1; i >= 0; i-- {
+		if pts >= scenes[i].Start {
+			return scenes[i].Motion
+		}
+	}
+	return 0.5
+}
+
+// assignSizes distributes the GOP byte budget over its frames by type weight.
+// Higher motion shrinks the I frame's share (inter frames carry more residual
+// data when the picture changes quickly).
+func assignSizes(g *GOP, cfg EncoderConfig, motion float64) {
+	budget := int64(math.Round(float64(cfg.BytesPerSecond) * g.Duration().Seconds()))
+	iw := cfg.IWeight * (1 - 0.35*motion)
+	if iw < 1 {
+		iw = 1
+	}
+	var totalW float64
+	for _, f := range g.Frames {
+		totalW += frameWeight(f.Type, iw, cfg.BWeight)
+	}
+	var assigned int64
+	for i := range g.Frames {
+		w := frameWeight(g.Frames[i].Type, iw, cfg.BWeight)
+		sz := int64(float64(budget) * w / totalW)
+		if sz < 1 {
+			sz = 1
+		}
+		g.Frames[i].Bytes = sz
+		assigned += sz
+	}
+	// Give any rounding remainder to the I frame so GOP totals are exact.
+	if rem := budget - assigned; rem > 0 {
+		g.Frames[0].Bytes += rem
+	}
+}
+
+func frameWeight(t FrameType, iWeight, bWeight float64) float64 {
+	switch t {
+	case FrameI:
+		return iWeight
+	case FrameB:
+		return bWeight
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,95 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// quickConfig builds a valid EncoderConfig from arbitrary generator input.
+func quickConfig(r *rand.Rand) (EncoderConfig, time.Duration, int64) {
+	cfg := DefaultEncoderConfig()
+	cfg.FPS = 10 + r.Intn(50)
+	cfg.BytesPerSecond = int64(16*1024 + r.Intn(512*1024))
+	cfg.MinGOP = time.Duration(200+r.Intn(800)) * time.Millisecond
+	cfg.MaxGOP = cfg.MinGOP + time.Duration(1+r.Intn(20))*time.Second
+	cfg.BFrames = r.Intn(4)
+	cfg.IWeight = 2 + 10*r.Float64()
+	cfg.BWeight = 0.1 + 0.9*r.Float64()
+	dur := time.Duration(2+r.Intn(60)) * time.Second
+	return cfg, dur, r.Int63()
+}
+
+// Property: every synthesized clip passes structural validation regardless
+// of configuration.
+func TestQuickSynthesizeAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg, dur, s := quickConfig(r)
+		v, err := Synthesize(cfg, dur, s)
+		if err != nil {
+			t.Logf("Synthesize(%+v, %v): %v", cfg, dur, err)
+			return false
+		}
+		return v.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GOP durations never exceed MaxGOP plus one frame of slack, and
+// the per-GOP byte budget tracks rate * duration within rounding.
+func TestQuickGOPBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg, dur, s := quickConfig(r)
+		v, err := Synthesize(cfg, dur, s)
+		if err != nil {
+			return false
+		}
+		frameDur := time.Second / time.Duration(cfg.FPS)
+		for _, g := range v.GOPs {
+			if g.Duration() > cfg.MaxGOP+frameDur {
+				t.Logf("GOP duration %v > MaxGOP %v", g.Duration(), cfg.MaxGOP)
+				return false
+			}
+			want := float64(cfg.BytesPerSecond) * g.Duration().Seconds()
+			got := float64(g.Bytes())
+			// Small GOPs can deviate by a few bytes from rounding plus the
+			// 1-byte-per-frame floor.
+			if got < want-float64(len(g.Frames)) || got > want+float64(len(g.Frames)) {
+				t.Logf("GOP bytes %v, want ~%v", got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scene generation exactly tiles the requested duration.
+func TestQuickScenesTile(t *testing.T) {
+	f := func(seed int64, totalSecs uint8) bool {
+		total := time.Duration(int(totalSecs)%300+1) * time.Second
+		rng := rand.New(rand.NewSource(seed))
+		scenes, err := DefaultSceneModel().Generate(rng, total)
+		if err != nil {
+			return false
+		}
+		var at time.Duration
+		for _, s := range scenes {
+			if s.Start != at || s.Duration <= 0 {
+				return false
+			}
+			at += s.Duration
+		}
+		return at == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package media
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Scene is a contiguous run of video with homogeneous visual activity.
+// Scene boundaries force I frames (scene cuts), so the scene model is what
+// produces the variable — and heavy-tailed — GOP durations the paper
+// attributes to "constantly changing scenery" versus "stationary scenes".
+type Scene struct {
+	// Start is the presentation time at which the scene begins.
+	Start time.Duration
+	// Duration is the length of the scene.
+	Duration time.Duration
+	// Motion is the visual activity level in [0, 1]. High motion means
+	// frequent intra refreshes (short GOPs) and larger P/B frames relative
+	// to the I frame; low motion means long GOPs.
+	Motion float64
+}
+
+// SceneModel generates a scene sequence for a clip.
+type SceneModel struct {
+	// MeanSceneDuration is the mean of the (log-normal) scene length
+	// distribution. Must be positive.
+	MeanSceneDuration time.Duration
+	// SceneSigma is the log-normal shape parameter; larger values give a
+	// heavier tail (occasional very long, stationary scenes). Typical: 0.8.
+	SceneSigma float64
+	// MinSceneDuration clamps the shortest scene. Must be positive.
+	MinSceneDuration time.Duration
+}
+
+// DefaultSceneModel returns a model tuned to produce the GOP-duration spread
+// described in the paper: mostly short scenes with an occasional long,
+// near-stationary scene that yields a very large GOP.
+func DefaultSceneModel() SceneModel {
+	return SceneModel{
+		MeanSceneDuration: 4 * time.Second,
+		SceneSigma:        0.9,
+		MinSceneDuration:  400 * time.Millisecond,
+	}
+}
+
+// Validate reports whether the model parameters are usable.
+func (m SceneModel) Validate() error {
+	if m.MeanSceneDuration <= 0 {
+		return fmt.Errorf("media: MeanSceneDuration must be positive, got %v", m.MeanSceneDuration)
+	}
+	if m.MinSceneDuration <= 0 {
+		return fmt.Errorf("media: MinSceneDuration must be positive, got %v", m.MinSceneDuration)
+	}
+	if m.SceneSigma < 0 {
+		return fmt.Errorf("media: SceneSigma must be non-negative, got %v", m.SceneSigma)
+	}
+	return nil
+}
+
+// Generate produces scenes covering exactly total duration. The final scene
+// is truncated to fit. Generation is deterministic for a given rng state.
+func (m SceneModel) Generate(rng *rand.Rand, total time.Duration) ([]Scene, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("media: total duration must be positive, got %v", total)
+	}
+	// Log-normal with mean MeanSceneDuration: mu = ln(mean) - sigma^2/2.
+	mu := math.Log(m.MeanSceneDuration.Seconds()) - m.SceneSigma*m.SceneSigma/2
+	var scenes []Scene
+	var at time.Duration
+	for at < total {
+		secs := math.Exp(mu + m.SceneSigma*rng.NormFloat64())
+		d := time.Duration(secs * float64(time.Second))
+		if d < m.MinSceneDuration {
+			d = m.MinSceneDuration
+		}
+		if at+d > total {
+			d = total - at
+		}
+		// Low-motion scenes tend to be the long ones: couple motion to
+		// (inverse) scene length with jitter, clamped to [0.02, 0.95].
+		// Long stationary scenes push motion near zero, which is what
+		// produces the paper's "very long GOP" monsters.
+		motion := 0.85 - 0.32*math.Log1p(d.Seconds()) + 0.15*rng.NormFloat64()
+		motion = math.Max(0.02, math.Min(0.95, motion))
+		scenes = append(scenes, Scene{Start: at, Duration: d, Motion: motion})
+		at += d
+	}
+	return scenes, nil
+}

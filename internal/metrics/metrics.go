@@ -1,0 +1,112 @@
+// Package metrics aggregates playback measurements across peers and runs,
+// and renders the text tables that stand in for the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PlaybackSample is one peer's playback outcome in one run.
+type PlaybackSample struct {
+	// Peer identifies the leecher within the swarm.
+	Peer int
+	// Startup is the startup delay.
+	Startup time.Duration
+	// Stalls is the number of stall periods.
+	Stalls int
+	// TotalStall is the summed stall time.
+	TotalStall time.Duration
+	// Finished reports whether the peer played the whole clip.
+	Finished bool
+}
+
+// Summary aggregates samples (typically all leechers of one run, or the
+// per-run means across repetitions).
+type Summary struct {
+	N                  int
+	MeanStalls         float64
+	MaxStalls          int
+	MeanStallSeconds   float64
+	MaxStallSeconds    float64
+	MeanStartupSeconds float64
+	MaxStartupSeconds  float64
+	Unfinished         int
+}
+
+// Summarize aggregates samples. An empty slice yields a zero Summary.
+func Summarize(samples []PlaybackSample) Summary {
+	var s Summary
+	s.N = len(samples)
+	if s.N == 0 {
+		return s
+	}
+	for _, p := range samples {
+		s.MeanStalls += float64(p.Stalls)
+		s.MeanStallSeconds += p.TotalStall.Seconds()
+		s.MeanStartupSeconds += p.Startup.Seconds()
+		if p.Stalls > s.MaxStalls {
+			s.MaxStalls = p.Stalls
+		}
+		if v := p.TotalStall.Seconds(); v > s.MaxStallSeconds {
+			s.MaxStallSeconds = v
+		}
+		if v := p.Startup.Seconds(); v > s.MaxStartupSeconds {
+			s.MaxStartupSeconds = v
+		}
+		if !p.Finished {
+			s.Unfinished++
+		}
+	}
+	n := float64(s.N)
+	s.MeanStalls /= n
+	s.MeanStallSeconds /= n
+	s.MeanStartupSeconds /= n
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RoundedMean reproduces the paper's reporting: "ran the application three
+// times for each bandwidth and took the rounded average".
+func RoundedMean(xs []float64) int {
+	return int(math.Round(Mean(xs)))
+}
+
+// FormatSeconds renders a seconds value compactly for tables.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 10:
+		return fmt.Sprintf("%.1f", s)
+	default:
+		return fmt.Sprintf("%.0f", s)
+	}
+}

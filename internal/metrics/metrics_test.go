@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	samples := []PlaybackSample{
+		{Peer: 1, Startup: 2 * time.Second, Stalls: 3, TotalStall: 6 * time.Second, Finished: true},
+		{Peer: 2, Startup: 4 * time.Second, Stalls: 1, TotalStall: 2 * time.Second, Finished: true},
+		{Peer: 3, Startup: 6 * time.Second, Stalls: 5, TotalStall: 10 * time.Second, Finished: false},
+	}
+	s := Summarize(samples)
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+	if s.MeanStalls != 3 {
+		t.Errorf("MeanStalls = %v, want 3", s.MeanStalls)
+	}
+	if s.MaxStalls != 5 {
+		t.Errorf("MaxStalls = %d, want 5", s.MaxStalls)
+	}
+	if s.MeanStallSeconds != 6 {
+		t.Errorf("MeanStallSeconds = %v, want 6", s.MeanStallSeconds)
+	}
+	if s.MaxStallSeconds != 10 {
+		t.Errorf("MaxStallSeconds = %v, want 10", s.MaxStallSeconds)
+	}
+	if s.MeanStartupSeconds != 4 {
+		t.Errorf("MeanStartupSeconds = %v, want 4", s.MeanStartupSeconds)
+	}
+	if s.MaxStartupSeconds != 6 {
+		t.Errorf("MaxStartupSeconds = %v, want 6", s.MaxStartupSeconds)
+	}
+	if s.Unfinished != 1 {
+		t.Errorf("Unfinished = %d, want 1", s.Unfinished)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.MeanStalls != 0 || s.MaxStalls != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v, want 0", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+}
+
+func TestRoundedMean(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want int
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{1, 2}, 2}, // 1.5 rounds up
+		{[]float64{0.4}, 0},
+		{nil, 0},
+	}
+	for _, tt := range tests {
+		if got := RoundedMean(tt.xs); got != tt.want {
+			t.Errorf("RoundedMean(%v) = %d, want %d", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.25, "1.2"},
+		{9.99, "10.0"},
+		{12.4, "12"},
+	}
+	for _, tt := range tests {
+		if got := FormatSeconds(tt.in); got != tt.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title:   "Figure X: test",
+		XLabel:  "Bandwidth (kB/s)",
+		XValues: []string{"128", "256"},
+	}
+	f.AddSeries("gop", []string{"24", "10"})
+	f.AddSeries("4s", []string{"11", "4"})
+	out := f.Render()
+	for _, want := range []string{"Figure X: test", "Bandwidth (kB/s)", "gop", "4s", "128", "24", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 data rows.
+	if len(lines) != 5 {
+		t.Errorf("Render() produced %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureValidate(t *testing.T) {
+	f := Figure{Title: "t", XLabel: "x", XValues: []string{"1", "2"}}
+	f.AddSeries("bad", []string{"only-one"})
+	if err := f.Validate(); err == nil {
+		t.Error("mismatched series: want error")
+	}
+	if out := f.Render(); !strings.Contains(out, "<") {
+		t.Error("Render of invalid figure should embed the error")
+	}
+	empty := Figure{Title: "t"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty x-axis: want error")
+	}
+}
+
+func TestQuickSummarizeBounds(t *testing.T) {
+	f := func(stalls []uint8) bool {
+		samples := make([]PlaybackSample, len(stalls))
+		var maxStalls int
+		var sum float64
+		for i, st := range stalls {
+			samples[i] = PlaybackSample{Peer: i, Stalls: int(st)}
+			if int(st) > maxStalls {
+				maxStalls = int(st)
+			}
+			sum += float64(st)
+		}
+		s := Summarize(samples)
+		if len(stalls) == 0 {
+			return s.N == 0
+		}
+		mean := sum / float64(len(stalls))
+		return s.N == len(stalls) && s.MaxStalls == maxStalls &&
+			math.Abs(s.MeanStalls-mean) < 1e-9 && s.MeanStalls <= float64(s.MaxStalls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := Figure{Title: "t", XLabel: "bw", XValues: []string{"128", "256"}}
+	f.AddSeries("gop", []string{"5", "1"})
+	f.AddSeries("4s", []string{"8", "1"})
+	var buf strings.Builder
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "bw,gop,4s\n128,5,8\n256,1,1\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+	bad := Figure{Title: "t"}
+	if err := bad.WriteCSV(&buf); err == nil {
+		t.Error("invalid figure: want error")
+	}
+}

@@ -1,0 +1,141 @@
+package netem
+
+import (
+	"math"
+	"time"
+)
+
+// allocEpsilon absorbs floating-point noise when comparing rates.
+const allocEpsilon = 1e-6
+
+// reallocate recomputes every active flow's rate by progressive filling
+// (max-min fairness) over the star topology's access links, honouring each
+// flow's own cap (slow-start ramp and Mathis loss bound). It then reschedules
+// completion events. It runs on every event that changes the flow set, a
+// flow cap, or a link capacity; between such events all rates are constant,
+// which is what makes the flow-level model exact.
+func (n *Network) reallocate() {
+	// Accrue progress at the old rates before changing anything.
+	for _, f := range n.flows {
+		n.advance(f)
+	}
+
+	// Working state: per-link remaining capacity and unfixed-flow count.
+	type linkWork struct {
+		remaining float64
+		count     int
+	}
+	work := make(map[*link]*linkWork)
+	var active []*Flow
+	for _, f := range n.flows {
+		if f.state != flowActive {
+			continue
+		}
+		active = append(active, f)
+		for _, l := range []*link{n.nodes[f.src].up, n.nodes[f.dst].down} {
+			if _, ok := work[l]; !ok {
+				work[l] = &linkWork{remaining: l.capacity}
+			}
+			work[l].count++
+		}
+	}
+
+	// Many concurrent flows through one shaped link waste capacity on
+	// retransmissions and synchronized loss; derate each link's effective
+	// capacity by its concurrency before filling.
+	for l, w := range work {
+		excess := l.nFlows - n.cfg.ConcurrencyFreeFlows
+		if excess < 0 {
+			excess = 0
+		}
+		w.remaining = l.capacity / (1 + n.cfg.ConcurrencyPenalty*float64(excess))
+	}
+
+	fixed := make(map[*Flow]float64, len(active))
+	// Deterministic link iteration order: nodes in ID order, up then down.
+	orderedLinks := func() []*link {
+		var ls []*link
+		for _, nd := range n.nodes {
+			if w, ok := work[nd.up]; ok && w.count > 0 {
+				ls = append(ls, nd.up)
+			}
+			if w, ok := work[nd.down]; ok && w.count > 0 {
+				ls = append(ls, nd.down)
+			}
+		}
+		return ls
+	}
+
+	fix := func(f *Flow, rate float64) {
+		fixed[f] = rate
+		for _, l := range []*link{n.nodes[f.src].up, n.nodes[f.dst].down} {
+			w := work[l]
+			w.remaining -= rate
+			if w.remaining < 0 {
+				w.remaining = 0
+			}
+			w.count--
+		}
+	}
+
+	for len(fixed) < len(active) {
+		links := orderedLinks()
+		minShare := math.Inf(1)
+		var bottleneck *link
+		for _, l := range links {
+			w := work[l]
+			share := w.remaining / float64(w.count)
+			if share < minShare-allocEpsilon {
+				minShare = share
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			// No unfixed flow traverses any link; nothing left to do.
+			break
+		}
+		// Flows whose own cap is below the fair share are rate-limited by
+		// their cap, not the network: fix them first and refill.
+		anyCapped := false
+		for _, f := range active {
+			if _, ok := fixed[f]; ok {
+				continue
+			}
+			if f.capLimit() <= minShare+allocEpsilon {
+				fix(f, f.capLimit())
+				anyCapped = true
+			}
+		}
+		if anyCapped {
+			continue
+		}
+		// Otherwise the bottleneck link saturates: its flows get the share.
+		for _, f := range active {
+			if _, ok := fixed[f]; ok {
+				continue
+			}
+			if n.nodes[f.src].up == bottleneck || n.nodes[f.dst].down == bottleneck {
+				fix(f, minShare)
+			}
+		}
+	}
+
+	// Apply rates and reschedule completions.
+	for _, f := range active {
+		rate := fixed[f]
+		if math.Abs(rate-f.rate) <= allocEpsilon*math.Max(1, f.rate) && f.completion != nil && !f.completion.Cancelled() {
+			continue // unchanged; keep the existing completion event
+		}
+		f.rate = rate
+		f.completion.Cancel()
+		f.completion = nil
+		if math.IsInf(f.remaining, 1) {
+			continue // unbounded cross-traffic never completes
+		}
+		if rate <= allocEpsilon {
+			continue // starved; a later reallocation will revive it
+		}
+		delay := time.Duration(f.remaining / rate * float64(time.Second))
+		f.completion = n.eng.Schedule(delay, f.complete)
+	}
+}

@@ -1,0 +1,309 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"p2psplice/internal/sim"
+)
+
+type flowState uint8
+
+const (
+	flowSetup flowState = iota // connection establishing, no bytes moving
+	flowActive
+	flowDone
+	flowCancelled
+)
+
+// Flow is one TCP-like transfer.
+type Flow struct {
+	net  *Network
+	src  NodeID
+	dst  NodeID
+	size int64
+
+	state      flowState
+	remaining  float64
+	rate       float64 // current allocated rate, bytes/s
+	rampCap    float64 // slow-start cap, doubles per RTT
+	lossCap    float64 // Mathis bound; +Inf when the path is loss-free
+	rampMax    float64 // stop ramping once rampCap exceeds this
+	rtt        time.Duration
+	started    time.Duration // creation time (setup start)
+	activated  time.Duration // first payload byte
+	lastUpdate time.Duration
+	onLinks    bool // joined the link flow counts (reached flowActive)
+
+	frozen      bool // in an RTO freeze; no bytes move
+	completion  *sim.Timer
+	rampTimer   *sim.Timer
+	setup       *sim.Timer
+	hazardTimer *sim.Timer
+	freezeTimer *sim.Timer
+	onComplete  func(*Flow)
+}
+
+// TransferOptions tune one transfer.
+type TransferOptions struct {
+	// ReuseConnection skips the handshake cost, modelling a persistent
+	// connection to a peer already contacted.
+	ReuseConnection bool
+	// Unbounded marks a cross-traffic flow that never completes; size is
+	// ignored and OnComplete never fires. Cancel it to remove the load.
+	Unbounded bool
+}
+
+// StartTransfer begins a transfer of size bytes from src to dst and invokes
+// onComplete (which may be nil) from the engine's event context when the
+// last byte is delivered.
+func (n *Network) StartTransfer(src, dst NodeID, size int64, opts TransferOptions, onComplete func(*Flow)) (*Flow, error) {
+	if err := n.checkID(src); err != nil {
+		return nil, err
+	}
+	if err := n.checkID(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("netem: transfer from node %d to itself", src)
+	}
+	if size <= 0 && !opts.Unbounded {
+		return nil, fmt.Errorf("netem: transfer size must be positive, got %d", size)
+	}
+
+	rtt, err := n.RTT(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if rtt <= 0 {
+		rtt = time.Millisecond // avoid division by zero for zero-delay paths
+	}
+	f := &Flow{
+		net:        n,
+		src:        src,
+		dst:        dst,
+		size:       size,
+		remaining:  float64(size),
+		rtt:        rtt,
+		started:    n.eng.Now(),
+		lastUpdate: n.eng.Now(),
+		onComplete: onComplete,
+		lossCap:    math.Inf(1),
+	}
+	if opts.Unbounded {
+		f.remaining = math.Inf(1)
+	}
+	if p := n.pathLossEventRate(src, dst); p > 0 {
+		f.lossCap = n.cfg.MathisC * float64(n.cfg.MSS) / (rtt.Seconds() * math.Sqrt(p))
+	}
+	// Ramping beyond what the access links can carry is pointless; stop there.
+	f.rampMax = math.Min(float64(n.nodes[src].cfg.UplinkBytesPerSec),
+		float64(n.nodes[dst].cfg.DownlinkBytesPerSec))
+	f.rampCap = float64(n.cfg.InitCwndSegments*n.cfg.MSS) / rtt.Seconds()
+
+	n.flows = append(n.flows, f)
+
+	setupDelay := time.Duration(0)
+	if !opts.ReuseConnection {
+		setupDelay = time.Duration(n.cfg.HandshakeRTTs * float64(rtt))
+	} else {
+		// A request on a warm connection still takes half an RTT to reach
+		// the uploader.
+		setupDelay = rtt / 2
+	}
+	f.state = flowSetup
+	f.setup = n.eng.Schedule(setupDelay, f.activate)
+	return f, nil
+}
+
+// Src returns the uploading node.
+func (f *Flow) Src() NodeID { return f.src }
+
+// Dst returns the downloading node.
+func (f *Flow) Dst() NodeID { return f.dst }
+
+// Size returns the transfer size in bytes.
+func (f *Flow) Size() int64 { return f.size }
+
+// Remaining returns the bytes not yet transferred.
+func (f *Flow) Remaining() int64 {
+	f.net.advance(f)
+	if math.IsInf(f.remaining, 1) {
+		return math.MaxInt64
+	}
+	return int64(math.Ceil(f.remaining))
+}
+
+// Rate returns the current transfer rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow completed.
+func (f *Flow) Done() bool { return f.state == flowDone }
+
+// Cancelled reports whether the flow was cancelled.
+func (f *Flow) Cancelled() bool { return f.state == flowCancelled }
+
+// Elapsed returns how long the flow has existed (setup included) up to its
+// completion, cancellation, or the current instant.
+func (f *Flow) Elapsed() time.Duration {
+	if f.state == flowDone || f.state == flowCancelled {
+		return f.lastUpdate - f.started
+	}
+	return f.net.eng.Now() - f.started
+}
+
+// Cancel aborts the flow (peer departure, shutdown). OnComplete does not
+// fire. Cancelling a finished or already-cancelled flow is a no-op.
+func (f *Flow) Cancel() {
+	if f.state == flowDone || f.state == flowCancelled {
+		return
+	}
+	wasActive := f.state == flowActive
+	f.net.advance(f)
+	f.state = flowCancelled
+	f.setup.Cancel()
+	f.completion.Cancel()
+	f.rampTimer.Cancel()
+	f.hazardTimer.Cancel()
+	f.freezeTimer.Cancel()
+	f.net.detach(f)
+	if wasActive {
+		f.net.reallocate()
+	}
+}
+
+// activate moves the flow from connection setup to data transfer.
+func (f *Flow) activate() {
+	if f.state != flowSetup {
+		return
+	}
+	f.state = flowActive
+	f.activated = f.net.eng.Now()
+	f.lastUpdate = f.activated
+	f.onLinks = true
+	f.net.nodes[f.src].up.nFlows++
+	f.net.nodes[f.dst].down.nFlows++
+	f.scheduleRamp()
+	f.scheduleHazard()
+	f.net.reallocate()
+}
+
+// scheduleHazard arranges the next RTO check, one second out. At each check
+// the flow freezes with probability TimeoutHazard per flow beyond the
+// penalty-free count on its most crowded link.
+func (f *Flow) scheduleHazard() {
+	if f.net.cfg.TimeoutHazard <= 0 || f.net.cfg.TimeoutMeanFreeze <= 0 {
+		return
+	}
+	f.hazardTimer = f.net.eng.Schedule(time.Second, func() {
+		if f.state != flowActive {
+			return
+		}
+		f.scheduleHazard()
+		if f.frozen {
+			return
+		}
+		crowd := f.net.nodes[f.src].up.nFlows
+		if d := f.net.nodes[f.dst].down.nFlows; d > crowd {
+			crowd = d
+		}
+		excess := crowd - f.net.cfg.ConcurrencyFreeFlows
+		if excess <= 0 {
+			return
+		}
+		p := f.net.cfg.TimeoutHazard * float64(excess)
+		if f.net.eng.RNG().Float64() >= p {
+			return
+		}
+		// Freeze: exponential duration clamped to [0.2s, 8s].
+		d := time.Duration(f.net.eng.RNG().ExpFloat64() * float64(f.net.cfg.TimeoutMeanFreeze))
+		if d < 200*time.Millisecond {
+			d = 200 * time.Millisecond
+		}
+		if d > 8*time.Second {
+			d = 8 * time.Second
+		}
+		f.frozen = true
+		f.freezeTimer = f.net.eng.Schedule(d, func() {
+			if f.state != flowActive {
+				return
+			}
+			f.frozen = false
+			f.net.reallocate()
+		})
+		f.net.reallocate()
+	})
+}
+
+// scheduleRamp arranges the next slow-start doubling.
+func (f *Flow) scheduleRamp() {
+	if f.rampCap >= f.rampMax || f.rampCap >= f.lossCap {
+		return // ramping further would never change the allocation
+	}
+	f.rampTimer = f.net.eng.Schedule(f.rtt, func() {
+		if f.state != flowActive {
+			return
+		}
+		f.rampCap *= 2
+		f.scheduleRamp()
+		f.net.reallocate()
+	})
+}
+
+// capLimit returns the flow's own rate ceiling (slow start, loss model, and
+// RTO freezes).
+func (f *Flow) capLimit() float64 {
+	if f.frozen {
+		return 0
+	}
+	return math.Min(f.rampCap, f.lossCap)
+}
+
+// complete finishes the flow and notifies the owner.
+func (f *Flow) complete() {
+	if f.state != flowActive {
+		return
+	}
+	f.net.advance(f)
+	f.remaining = 0
+	f.state = flowDone
+	f.rampTimer.Cancel()
+	f.hazardTimer.Cancel()
+	f.freezeTimer.Cancel()
+	f.net.detach(f)
+	f.net.reallocate()
+	if f.onComplete != nil {
+		f.onComplete(f)
+	}
+}
+
+// detach removes the flow from its links and the active list. Only flows
+// that reached flowActive ever joined the links.
+func (n *Network) detach(f *Flow) {
+	if f.onLinks {
+		n.nodes[f.src].up.nFlows--
+		n.nodes[f.dst].down.nFlows--
+		f.onLinks = false
+	}
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			break
+		}
+	}
+}
+
+// advance accrues progress for f up to the current instant.
+func (n *Network) advance(f *Flow) {
+	now := n.eng.Now()
+	if f.state == flowActive && now > f.lastUpdate {
+		f.remaining -= f.rate * (now - f.lastUpdate).Seconds()
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	if f.state == flowActive || f.state == flowSetup {
+		f.lastUpdate = now
+	}
+}

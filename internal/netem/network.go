@@ -1,0 +1,315 @@
+// Package netem emulates the paper's GENI testbed: a star topology of nodes
+// with shaped access links (bandwidth, latency, loss), carrying TCP-like
+// transfers between peers.
+//
+// It is a flow-level model on top of the discrete-event engine in
+// internal/sim: each segment download is a flow; active flows share link
+// capacity max-min fairly, and each flow is additionally capped by a TCP
+// model — connection setup costs 1.5 RTT, throughput ramps like slow start
+// (doubling per RTT from an initial window), and sustained throughput under
+// path loss follows the Mathis bound C·MSS/(RTT·sqrt(p)). These are exactly
+// the mechanisms behind the paper's observations: many small segments pay
+// per-connection setup ("many small TCP connections that create congestion"),
+// and high-latency/lossy paths cap per-flow throughput so the download-pool
+// size matters.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"p2psplice/internal/sim"
+)
+
+// NodeID identifies a node in the emulated network.
+type NodeID int
+
+// Config holds the TCP model parameters.
+type Config struct {
+	// MSS is the TCP maximum segment size in bytes. Default 1460.
+	MSS int
+	// InitCwndSegments is the initial congestion window in MSS units
+	// (RFC 6928 initial window). Default 10.
+	InitCwndSegments int
+	// MathisC is the constant in the Mathis throughput bound. Default 1.22.
+	MathisC float64
+	// LossEventFactor converts a raw packet-loss rate into the TCP
+	// loss-*event* rate used by the Mathis bound; modern stacks with SACK
+	// recover several drops per loss event, so the event rate is well below
+	// the packet-drop rate. Default 0.125, calibrated so that one flow over
+	// the paper's 5%-loss, 100 ms-RTT path sustains ~160 kB/s — enough to
+	// carry the paper's 128 kB/s clip on one connection (as its testbed
+	// evidently did) while still capping per-flow throughput well below the
+	// faster links, which is what makes the download-pool size matter.
+	LossEventFactor float64
+	// HandshakeRTTs is the connection-establishment cost in RTTs before the
+	// first payload byte (TCP handshake plus the request). Default 1.5.
+	// Set to a negative value for a free handshake (treated as exactly 0).
+	HandshakeRTTs float64
+	// ConcurrencyPenalty models the aggregate goodput loss of running many
+	// simultaneous TCP flows through a small-buffer shaped link (retransmit
+	// waste, synchronized losses): a link carrying n flows delivers
+	// capacity / (1 + ConcurrencyPenalty*max(0, n-ConcurrencyFreeFlows)).
+	// This is the "large pool size increases the network overload ... which
+	// increases the stalls" mechanism in the paper's Figure 5 discussion.
+	// Default 0.1. Set to a negative value to disable (treated as 0).
+	ConcurrencyPenalty float64
+	// ConcurrencyFreeFlows is the number of concurrent flows a link carries
+	// without degradation (shaper buffers absorb a few flows cleanly).
+	// Default 3. Set to a negative value for 0.
+	ConcurrencyFreeFlows int
+	// TimeoutHazard is the per-second probability (per excess flow beyond
+	// ConcurrencyFreeFlows on the flow's most crowded link) that a flow
+	// suffers a retransmission timeout and freezes. RTOs — not smooth
+	// goodput loss — are how overloading a small-buffer shaped link with
+	// many TCP flows actually manifests: individual transfers stall for
+	// seconds. Default 0.02. Negative disables.
+	TimeoutHazard float64
+	// TimeoutMeanFreeze is the mean duration of an RTO freeze (exponential,
+	// clamped to [0.2s, 8s]). Default 1.5s. Negative disables freezing.
+	TimeoutMeanFreeze time.Duration
+}
+
+// DefaultConfig returns the default TCP model parameters.
+func DefaultConfig() Config {
+	return Config{
+		MSS:                  1460,
+		InitCwndSegments:     10,
+		MathisC:              1.22,
+		LossEventFactor:      0.125,
+		HandshakeRTTs:        1.5,
+		ConcurrencyPenalty:   0.1,
+		ConcurrencyFreeFlows: 3,
+		TimeoutHazard:        0.05,
+		TimeoutMeanFreeze:    1500 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS <= 0 {
+		c.MSS = d.MSS
+	}
+	if c.InitCwndSegments <= 0 {
+		c.InitCwndSegments = d.InitCwndSegments
+	}
+	if c.MathisC <= 0 {
+		c.MathisC = d.MathisC
+	}
+	if c.LossEventFactor <= 0 {
+		c.LossEventFactor = d.LossEventFactor
+	}
+	switch {
+	case c.HandshakeRTTs == 0:
+		c.HandshakeRTTs = d.HandshakeRTTs
+	case c.HandshakeRTTs < 0:
+		c.HandshakeRTTs = 0
+	}
+	switch {
+	case c.ConcurrencyPenalty == 0:
+		c.ConcurrencyPenalty = d.ConcurrencyPenalty
+	case c.ConcurrencyPenalty < 0:
+		c.ConcurrencyPenalty = 0
+	}
+	switch {
+	case c.ConcurrencyFreeFlows == 0:
+		c.ConcurrencyFreeFlows = d.ConcurrencyFreeFlows
+	case c.ConcurrencyFreeFlows < 0:
+		c.ConcurrencyFreeFlows = 0
+	}
+	switch {
+	case c.TimeoutHazard == 0:
+		c.TimeoutHazard = d.TimeoutHazard
+	case c.TimeoutHazard < 0:
+		c.TimeoutHazard = 0
+	}
+	switch {
+	case c.TimeoutMeanFreeze == 0:
+		c.TimeoutMeanFreeze = d.TimeoutMeanFreeze
+	case c.TimeoutMeanFreeze < 0:
+		c.TimeoutMeanFreeze = 0
+	}
+	return c
+}
+
+// NodeConfig describes one node's access link in the star topology.
+type NodeConfig struct {
+	// UplinkBytesPerSec and DownlinkBytesPerSec shape the access link.
+	// Both must be positive.
+	UplinkBytesPerSec   int64
+	DownlinkBytesPerSec int64
+	// AccessDelay is the one-way delay from the node to the star's hub.
+	// The one-way delay between nodes a and b is a.AccessDelay +
+	// b.AccessDelay (the paper's 50 ms peer latency corresponds to 25 ms
+	// access delay on each side).
+	AccessDelay time.Duration
+	// LossRate is the packet loss probability on the access link in [0, 1).
+	LossRate float64
+}
+
+// Validate reports whether the node configuration is usable.
+func (nc NodeConfig) Validate() error {
+	if nc.UplinkBytesPerSec <= 0 || nc.DownlinkBytesPerSec <= 0 {
+		return fmt.Errorf("netem: link rates must be positive, got up=%d down=%d",
+			nc.UplinkBytesPerSec, nc.DownlinkBytesPerSec)
+	}
+	if nc.AccessDelay < 0 {
+		return fmt.Errorf("netem: negative access delay %v", nc.AccessDelay)
+	}
+	if nc.LossRate < 0 || nc.LossRate >= 1 {
+		return fmt.Errorf("netem: loss rate %v outside [0, 1)", nc.LossRate)
+	}
+	return nil
+}
+
+// Network is the emulated star network. It is single-threaded: all methods
+// must be called from the owning sim.Engine's event context (or before Run).
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes []*node
+	flows []*Flow // active flows in creation order (deterministic iteration)
+}
+
+type node struct {
+	id   NodeID
+	cfg  NodeConfig
+	up   *link
+	down *link
+}
+
+type link struct {
+	capacity float64 // bytes per second
+	nFlows   int     // active flows traversing this link
+}
+
+// New creates an empty network on eng.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if eng == nil {
+		panic("netem: nil engine")
+	}
+	return &Network{eng: eng, cfg: cfg.withDefaults()}
+}
+
+// AddNode registers a node and returns its ID.
+func (n *Network) AddNode(nc NodeConfig) (NodeID, error) {
+	if err := nc.Validate(); err != nil {
+		return 0, err
+	}
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, &node{
+		id:   id,
+		cfg:  nc,
+		up:   &link{capacity: float64(nc.UplinkBytesPerSec)},
+		down: &link{capacity: float64(nc.DownlinkBytesPerSec)},
+	})
+	return id, nil
+}
+
+// NodeCount returns the number of registered nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// Node returns the configuration of id.
+func (n *Network) Node(id NodeID) (NodeConfig, error) {
+	if err := n.checkID(id); err != nil {
+		return NodeConfig{}, err
+	}
+	return n.nodes[id].cfg, nil
+}
+
+func (n *Network) checkID(id NodeID) error {
+	if id < 0 || int(id) >= len(n.nodes) {
+		return fmt.Errorf("netem: unknown node %d", id)
+	}
+	return nil
+}
+
+// OneWayDelay returns the one-way propagation delay between a and b.
+func (n *Network) OneWayDelay(a, b NodeID) (time.Duration, error) {
+	if err := n.checkID(a); err != nil {
+		return 0, err
+	}
+	if err := n.checkID(b); err != nil {
+		return 0, err
+	}
+	return n.nodes[a].cfg.AccessDelay + n.nodes[b].cfg.AccessDelay, nil
+}
+
+// RTT returns the round-trip time between a and b.
+func (n *Network) RTT(a, b NodeID) (time.Duration, error) {
+	ow, err := n.OneWayDelay(a, b)
+	return 2 * ow, err
+}
+
+// pathLossEventRate returns the TCP loss-event rate along a->b.
+func (n *Network) pathLossEventRate(a, b NodeID) float64 {
+	raw := 1 - (1-n.nodes[a].cfg.LossRate)*(1-n.nodes[b].cfg.LossRate)
+	return raw * n.cfg.LossEventFactor
+}
+
+// SetUplink changes a node's uplink capacity (the paper's future-work
+// "variable bandwidth" case) and reallocates active flows.
+func (n *Network) SetUplink(id NodeID, bytesPerSec int64) error {
+	if err := n.checkID(id); err != nil {
+		return err
+	}
+	if bytesPerSec <= 0 {
+		return fmt.Errorf("netem: uplink rate must be positive, got %d", bytesPerSec)
+	}
+	n.nodes[id].cfg.UplinkBytesPerSec = bytesPerSec
+	n.nodes[id].up.capacity = float64(bytesPerSec)
+	n.reallocate()
+	return nil
+}
+
+// SetDownlink changes a node's downlink capacity and reallocates.
+func (n *Network) SetDownlink(id NodeID, bytesPerSec int64) error {
+	if err := n.checkID(id); err != nil {
+		return err
+	}
+	if bytesPerSec <= 0 {
+		return fmt.Errorf("netem: downlink rate must be positive, got %d", bytesPerSec)
+	}
+	n.nodes[id].cfg.DownlinkBytesPerSec = bytesPerSec
+	n.nodes[id].down.capacity = float64(bytesPerSec)
+	n.reallocate()
+	return nil
+}
+
+// ScheduleBandwidth applies symmetric up/down capacity changes to a node at
+// the given virtual times. It supports the variable-bandwidth experiments.
+func (n *Network) ScheduleBandwidth(id NodeID, steps []BandwidthStep) error {
+	if err := n.checkID(id); err != nil {
+		return err
+	}
+	for _, s := range steps {
+		if s.BytesPerSec <= 0 {
+			return fmt.Errorf("netem: bandwidth step rate must be positive, got %d", s.BytesPerSec)
+		}
+		step := s
+		n.eng.At(step.At, func() {
+			// Errors are impossible here: id and rate were validated above.
+			_ = n.SetUplink(id, step.BytesPerSec)
+			_ = n.SetDownlink(id, step.BytesPerSec)
+		})
+	}
+	return nil
+}
+
+// BandwidthStep is one point of a bandwidth schedule.
+type BandwidthStep struct {
+	At          time.Duration
+	BytesPerSec int64
+}
+
+// ActiveFlows returns the number of in-progress transfers (including those
+// still in connection setup).
+func (n *Network) ActiveFlows() int {
+	count := len(n.flows)
+	for _, f := range n.flows {
+		if f.state == flowDone || f.state == flowCancelled {
+			count--
+		}
+	}
+	return count
+}

@@ -1,0 +1,312 @@
+package peer
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2psplice/internal/wire"
+)
+
+// conn is one established peer connection.
+type conn struct {
+	node   *Node
+	id     wire.PeerID
+	raw    net.Conn
+	wmu    sync.Mutex // serializes writes
+	mu     sync.Mutex // guards remoteHave and closed
+	have   []bool     // remote's bitfield
+	closed bool
+
+	// Upload-slot state, guarded by node.mu: serving marks an occupied
+	// unchoke slot, waiting marks membership in the choked-waiters queue,
+	// and lastServe drives idle slot release.
+	serving   bool
+	waiting   bool
+	lastServe time.Time
+
+	// choked (guarded by c.mu) records that the REMOTE choked us: it will
+	// not answer requests until it unchokes.
+	choked bool
+}
+
+// startConn registers the connection, exchanges bitfields, and runs the
+// reader until the connection dies.
+func (n *Node) startConn(raw net.Conn, id wire.PeerID) error {
+	c := &conn{
+		node: n,
+		id:   id,
+		raw:  raw,
+		have: make([]bool, n.store.Segments()),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		raw.Close()
+		return fmt.Errorf("peer: node closed")
+	}
+	if _, dup := n.conns[id]; dup || id == n.peerID {
+		n.mu.Unlock()
+		raw.Close()
+		return nil // already connected (simultaneous dial) or self
+	}
+	n.conns[id] = c
+	n.mu.Unlock()
+
+	if err := c.send(&wire.Message{Type: wire.MsgBitfield, Bitfield: wire.EncodeBitfield(n.store.Bitfield())}); err != nil {
+		c.close()
+		return err
+	}
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		err := c.readLoop()
+		c.close()
+		n.dropConn(c, err)
+	}()
+	return nil
+}
+
+// dropConn removes the connection and reschedules its downloads.
+func (n *Node) dropConn(c *conn, err error) {
+	var unchoke *conn
+	n.mu.Lock()
+	if n.conns[c.id] == c {
+		delete(n.conns, c.id)
+	}
+	unchoke = n.releaseSlotLocked(c)
+	if c.waiting {
+		c.waiting = false
+		for i, w := range n.chokedWaiters {
+			if w == c {
+				n.chokedWaiters = append(n.chokedWaiters[:i], n.chokedWaiters[i+1:]...)
+				break
+			}
+		}
+	}
+	var orphaned []*segDownload
+	for _, d := range n.active {
+		if d.conn == c {
+			orphaned = append(orphaned, d)
+		}
+	}
+	for _, d := range orphaned {
+		delete(n.active, d.index)
+	}
+	n.mu.Unlock()
+	if unchoke != nil {
+		if err := unchoke.send(&wire.Message{Type: wire.MsgUnchoke}); err != nil {
+			unchoke.close()
+		}
+	}
+	if err != nil {
+		n.cfg.Logf("peer %s: conn %s: %v", n.peerID, c.id, err)
+	}
+	if len(orphaned) > 0 {
+		n.schedule()
+	}
+}
+
+// send writes one message, serialized against concurrent senders.
+func (c *conn) send(m *wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.Write(c.raw, m)
+}
+
+// close shuts the underlying conn; safe to call multiple times.
+func (c *conn) close() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		_ = c.raw.Close()
+	}
+}
+
+// remoteHas reports whether the remote holds segment i.
+func (c *conn) remoteHas(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return i >= 0 && i < len(c.have) && c.have[i]
+}
+
+// readLoop processes inbound messages until the connection fails.
+func (c *conn) readLoop() error {
+	for {
+		m, err := wire.Read(c.raw)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case wire.MsgBitfield:
+			have, err := wire.DecodeBitfield(m.Bitfield, c.node.store.Segments())
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			copy(c.have, have)
+			c.mu.Unlock()
+			c.node.schedule()
+		case wire.MsgHave:
+			idx := int(m.Index)
+			if idx >= c.node.store.Segments() {
+				return fmt.Errorf("peer: have for segment %d of %d", idx, c.node.store.Segments())
+			}
+			c.mu.Lock()
+			c.have[idx] = true
+			c.mu.Unlock()
+			c.node.schedule()
+		case wire.MsgRequest:
+			if err := c.serveBlock(m); err != nil {
+				return err
+			}
+		case wire.MsgPiece:
+			c.node.onPiece(c, m)
+		case wire.MsgChoke:
+			c.mu.Lock()
+			c.choked = true
+			c.mu.Unlock()
+			c.node.abandonDownloadsOn(c)
+		case wire.MsgUnchoke:
+			c.mu.Lock()
+			c.choked = false
+			c.mu.Unlock()
+			c.node.schedule()
+		case wire.MsgCancel, wire.MsgKeepAlive,
+			wire.MsgInterested, wire.MsgNotInterested:
+			// Accepted for protocol compatibility.
+		default:
+			return fmt.Errorf("peer: unexpected message %s", m.Type)
+		}
+	}
+}
+
+// serveBlock answers a block request from the store, subject to the
+// node's upload slots: a requester that cannot get a slot is choked and
+// retries after MsgUnchoke.
+func (c *conn) serveBlock(m *wire.Message) error {
+	n := c.node
+	n.mu.Lock()
+	if !c.serving {
+		if n.servingConns < n.cfg.MaxUploadSlots {
+			c.serving = true
+			n.servingConns++
+		} else {
+			if !c.waiting {
+				c.waiting = true
+				n.chokedWaiters = append(n.chokedWaiters, c)
+			}
+			n.mu.Unlock()
+			return c.send(&wire.Message{Type: wire.MsgChoke})
+		}
+	}
+	c.lastServe = time.Now()
+	n.mu.Unlock()
+
+	data, err := n.store.Block(int(m.Index), int(m.Offset), int(m.Length))
+	if err != nil {
+		// Requests for data we do not hold indicate a confused or hostile
+		// peer; drop the connection rather than serve garbage.
+		return err
+	}
+	if err := c.send(&wire.Message{
+		Type:   wire.MsgPiece,
+		Index:  m.Index,
+		Offset: m.Offset,
+		Data:   data,
+	}); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.stats.UploadedBytes += int64(len(data))
+	n.mu.Unlock()
+	return nil
+}
+
+// remoteChoked reports whether the remote has choked us.
+func (c *conn) remoteChoked() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.choked
+}
+
+// releaseSlotLocked frees c's upload slot (node.mu held) and returns the
+// waiter to unchoke, if any.
+func (n *Node) releaseSlotLocked(c *conn) *conn {
+	if !c.serving {
+		return nil
+	}
+	c.serving = false
+	n.servingConns--
+	for len(n.chokedWaiters) > 0 {
+		next := n.chokedWaiters[0]
+		n.chokedWaiters = n.chokedWaiters[1:]
+		next.waiting = false
+		if n.conns[next.id] == next {
+			next.serving = true
+			next.lastServe = time.Now()
+			n.servingConns++
+			return next
+		}
+	}
+	return nil
+}
+
+// reapIdleSlots releases slots whose holders have gone quiet and unchokes
+// waiters. Driven by the node watchdog.
+func (n *Node) reapIdleSlots() {
+	const idleRelease = 2 * time.Second
+	var unchoke []*conn
+	n.mu.Lock()
+	for _, c := range n.conns {
+		if c.serving && time.Since(c.lastServe) > idleRelease {
+			if next := n.releaseSlotLocked(c); next != nil {
+				unchoke = append(unchoke, next)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range unchoke {
+		if err := c.send(&wire.Message{Type: wire.MsgUnchoke}); err != nil {
+			c.close()
+		}
+	}
+}
+
+// abandonDownloadsOn reschedules in-flight downloads assigned to a conn
+// that just choked us.
+func (n *Node) abandonDownloadsOn(c *conn) {
+	n.mu.Lock()
+	var orphaned []int
+	for idx, d := range n.active {
+		if d.conn == c {
+			orphaned = append(orphaned, idx)
+		}
+	}
+	for _, idx := range orphaned {
+		delete(n.active, idx)
+	}
+	n.mu.Unlock()
+	if len(orphaned) > 0 {
+		n.schedule()
+	}
+}
+
+// broadcastHave tells every peer we now hold segment idx.
+func (n *Node) broadcastHave(idx int) {
+	n.mu.Lock()
+	conns := make([]*conn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		if err := c.send(&wire.Message{Type: wire.MsgHave, Index: uint32(idx)}); err != nil {
+			c.close()
+		}
+	}
+}

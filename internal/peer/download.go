@@ -1,0 +1,217 @@
+package peer
+
+import (
+	"time"
+
+	"p2psplice/internal/wire"
+)
+
+// segDownload tracks one in-flight segment transfer.
+type segDownload struct {
+	index     int
+	size      int
+	conn      *conn
+	buf       []byte
+	blocks    []bool // received flags
+	remaining int
+	started   time.Time
+	progress  time.Time // last block arrival (watchdog)
+}
+
+// schedule tops up the download pool according to the policy. It is the
+// real-stack twin of the emulation's fill: called on join, on every
+// have/bitfield/piece event, and from the watchdog.
+func (n *Node) schedule() {
+	if n.seeder {
+		return
+	}
+	type request struct {
+		c   *conn
+		idx int
+	}
+	var launches []request
+
+	n.mu.Lock()
+	if !n.closed && !n.store.Complete() {
+		target := n.poolTargetLocked()
+		// The pool is the next `target` missing segments; request each one
+		// that some connected peer can serve.
+		idx := 0
+		scanned := 0
+		for ; idx < n.store.Segments() && len(n.active)+len(launches) < target && scanned < target; idx++ {
+			if n.store.Have(idx) {
+				continue
+			}
+			if _, inFlight := n.active[idx]; inFlight {
+				scanned++
+				continue
+			}
+			scanned++
+			if c := n.pickConnLocked(idx); c != nil {
+				size := int(n.manifest.Segments[idx].Bytes)
+				d := &segDownload{
+					index:    idx,
+					size:     size,
+					conn:     c,
+					buf:      make([]byte, size),
+					blocks:   make([]bool, wire.BlockCount(int64(size), n.cfg.BlockLen)),
+					started:  time.Now(),
+					progress: time.Now(),
+				}
+				d.remaining = len(d.blocks)
+				n.active[idx] = d
+				launches = append(launches, request{c: c, idx: idx})
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	for _, l := range launches {
+		n.requestAllBlocks(l.c, l.idx)
+	}
+}
+
+// poolTargetLocked computes Equation 1's k with the node's live inputs:
+// B from the EWMA estimator (falling back to the clip rate before the first
+// sample), T from the playback buffer, W from the next missing segment.
+func (n *Node) poolTargetLocked() int {
+	bandwidth := n.est.Estimate()
+	if bandwidth <= 0 {
+		bandwidth = n.manifest.Video.BytesPerSecond
+	}
+	var buffered time.Duration
+	if n.play != nil {
+		buffered = n.play.BufferedAhead(n.now())
+	}
+	segBytes := int64(1)
+	for idx := 0; idx < n.store.Segments(); idx++ {
+		if !n.store.Have(idx) {
+			segBytes = n.manifest.Segments[idx].Bytes
+			break
+		}
+	}
+	return n.cfg.Policy.PoolSize(bandwidth, buffered, segBytes)
+}
+
+// pickConnLocked returns the least-busy connection whose remote has idx.
+func (n *Node) pickConnLocked(idx int) *conn {
+	busy := make(map[*conn]int)
+	for _, d := range n.active {
+		busy[d.conn]++
+	}
+	var best *conn
+	bestBusy := 0
+	for _, c := range n.conns {
+		if !c.remoteHas(idx) || c.remoteChoked() {
+			continue
+		}
+		if busy[c] >= n.cfg.MaxConcurrentPerConn {
+			continue
+		}
+		if best == nil || busy[c] < bestBusy {
+			best, bestBusy = c, busy[c]
+		}
+	}
+	return best
+}
+
+// requestAllBlocks pipelines every block request for a segment.
+func (n *Node) requestAllBlocks(c *conn, idx int) {
+	size := int(n.manifest.Segments[idx].Bytes)
+	for off := 0; off < size; off += n.cfg.BlockLen {
+		length := n.cfg.BlockLen
+		if off+length > size {
+			length = size - off
+		}
+		if err := c.send(&wire.Message{
+			Type:   wire.MsgRequest,
+			Index:  uint32(idx),
+			Offset: uint32(off),
+			Length: uint32(length),
+		}); err != nil {
+			c.close()
+			return
+		}
+	}
+}
+
+// onPiece integrates an arriving block.
+func (n *Node) onPiece(c *conn, m *wire.Message) {
+	idx := int(m.Index)
+	var completed []byte
+
+	n.mu.Lock()
+	d, ok := n.active[idx]
+	if !ok || d.conn != c {
+		n.mu.Unlock()
+		return // stale block from an abandoned download
+	}
+	off := int(m.Offset)
+	if off%n.cfg.BlockLen != 0 || off+len(m.Data) > d.size {
+		n.mu.Unlock()
+		n.cfg.Logf("peer %s: bogus block seg=%d off=%d len=%d", n.peerID, idx, off, len(m.Data))
+		c.close()
+		return
+	}
+	block := off / n.cfg.BlockLen
+	if !d.blocks[block] {
+		d.blocks[block] = true
+		d.remaining--
+		copy(d.buf[off:], m.Data)
+		d.progress = time.Now()
+		n.stats.DownloadedBytes += int64(len(m.Data))
+	}
+	if d.remaining == 0 {
+		delete(n.active, idx)
+		completed = d.buf
+		n.est.Observe(int64(d.size), time.Since(d.started))
+	}
+	n.mu.Unlock()
+
+	if completed == nil {
+		return
+	}
+	if err := n.manifest.VerifySegment(idx, completed); err != nil {
+		// The remote served data that does not match the manifest: drop it
+		// and re-download from someone else.
+		n.cfg.Logf("peer %s: segment %d failed verification from %s: %v", n.peerID, idx, c.id, err)
+		c.close()
+		n.schedule()
+		return
+	}
+	if err := n.store.Put(idx, completed); err != nil {
+		n.cfg.Logf("peer %s: store segment %d: %v", n.peerID, idx, err)
+		return
+	}
+	n.mu.Lock()
+	if n.play != nil {
+		// Errors are impossible: idx was validated against the store size.
+		_ = n.play.OnSegmentComplete(idx, n.now())
+	}
+	complete := n.store.Complete()
+	n.mu.Unlock()
+
+	n.broadcastHave(idx)
+	if complete {
+		n.completeOnce.Do(func() { close(n.completeC) })
+	}
+	n.schedule()
+}
+
+// expireStalled abandons downloads that have made no progress within the
+// timeout so the watchdog can retry them on another connection.
+func (n *Node) expireStalled() {
+	var stalled []*segDownload
+	n.mu.Lock()
+	for idx, d := range n.active {
+		if time.Since(d.progress) > n.cfg.DownloadTimeout {
+			delete(n.active, idx)
+			stalled = append(stalled, d)
+		}
+	}
+	n.mu.Unlock()
+	for _, d := range stalled {
+		n.cfg.Logf("peer %s: segment %d timed out on %s", n.peerID, d.index, d.conn.id)
+		d.conn.close()
+	}
+}

@@ -1,0 +1,185 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"p2psplice/internal/container"
+)
+
+// FileStore persists segment containers to a directory, one file per
+// segment, so a seeder can resume serving (and a viewer resume downloading)
+// across process restarts. Files are named NNNNNN.seg and written
+// atomically via a temp file + rename. It implements the same interface
+// surface as Store and is safe for concurrent use.
+type FileStore struct {
+	dir string
+
+	mu    sync.RWMutex
+	sizes []int64 // 0 = absent; otherwise the segment's byte size
+	count int
+}
+
+// segFileName returns the path for segment i.
+func (s *FileStore) segFileName(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%06d.seg", i))
+}
+
+// NewFileStore opens (or initializes) a segment directory for a clip with n
+// segments. Existing segment files are validated against the manifest if
+// one is supplied (pass nil to skip validation, e.g. for ad-hoc tooling).
+func NewFileStore(dir string, n int, m *container.Manifest) (*FileStore, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("peer: file store needs at least one segment, got %d", n)
+	}
+	if m != nil && len(m.Segments) != n {
+		return nil, fmt.Errorf("peer: manifest has %d segments, store sized for %d", len(m.Segments), n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("peer: create store dir: %w", err)
+	}
+	s := &FileStore{dir: dir, sizes: make([]int64, n)}
+	// Recover existing segments.
+	for i := 0; i < n; i++ {
+		blob, err := os.ReadFile(s.segFileName(i))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("peer: read segment %d: %w", i, err)
+		}
+		if m != nil {
+			if err := m.VerifySegment(i, blob); err != nil {
+				// A corrupt or stale file is discarded, not fatal: the
+				// segment will simply be re-downloaded.
+				_ = os.Remove(s.segFileName(i))
+				continue
+			}
+		}
+		if len(blob) == 0 {
+			_ = os.Remove(s.segFileName(i))
+			continue
+		}
+		s.sizes[i] = int64(len(blob))
+		s.count++
+	}
+	return s, nil
+}
+
+// Dir returns the backing directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Segments returns the store capacity.
+func (s *FileStore) Segments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sizes)
+}
+
+// Have reports whether segment i is present.
+func (s *FileStore) Have(i int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return i >= 0 && i < len(s.sizes) && s.sizes[i] > 0
+}
+
+// Count returns how many segments are present.
+func (s *FileStore) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Complete reports whether every segment is present.
+func (s *FileStore) Complete() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count == len(s.sizes)
+}
+
+// Bitfield snapshots the have-flags.
+func (s *FileStore) Bitfield() []bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]bool, len(s.sizes))
+	for i, sz := range s.sizes {
+		out[i] = sz > 0
+	}
+	return out
+}
+
+// Put persists segment i atomically. Duplicate puts are ignored.
+func (s *FileStore) Put(i int, blob []byte) error {
+	if len(blob) == 0 {
+		return fmt.Errorf("peer: empty segment %d", i)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.sizes) {
+		return fmt.Errorf("peer: segment index %d out of range [0, %d)", i, len(s.sizes))
+	}
+	if s.sizes[i] > 0 {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "seg-*.tmp")
+	if err != nil {
+		return fmt.Errorf("peer: write segment %d: %w", i, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("peer: write segment %d: %w", i, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("peer: write segment %d: %w", i, err)
+	}
+	if err := os.Rename(tmpName, s.segFileName(i)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("peer: commit segment %d: %w", i, err)
+	}
+	s.sizes[i] = int64(len(blob))
+	s.count++
+	return nil
+}
+
+// Block reads length bytes of segment i starting at off.
+func (s *FileStore) Block(i int, off, length int) ([]byte, error) {
+	s.mu.RLock()
+	size := int64(0)
+	if i >= 0 && i < len(s.sizes) {
+		size = s.sizes[i]
+	}
+	s.mu.RUnlock()
+	if size == 0 {
+		return nil, fmt.Errorf("peer: segment %d not available", i)
+	}
+	if off < 0 || length <= 0 || int64(off)+int64(length) > size {
+		return nil, fmt.Errorf("peer: block [%d, %d+%d) outside segment of %d bytes", off, off, length, size)
+	}
+	f, err := os.Open(s.segFileName(i))
+	if err != nil {
+		return nil, fmt.Errorf("peer: open segment %d: %w", i, err)
+	}
+	defer f.Close()
+	out := make([]byte, length)
+	if _, err := f.ReadAt(out, int64(off)); err != nil {
+		return nil, fmt.Errorf("peer: read segment %d: %w", i, err)
+	}
+	return out, nil
+}
+
+// SegmentSize returns the stored size of segment i, or 0 if absent.
+func (s *FileStore) SegmentSize(i int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.sizes) {
+		return 0
+	}
+	return int(s.sizes[i])
+}

@@ -1,0 +1,238 @@
+package peer
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFileStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 3 || s.Count() != 0 || s.Complete() {
+		t.Error("fresh file store state wrong")
+	}
+	if err := s.Put(1, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Have(1) || s.Count() != 1 {
+		t.Error("Put not reflected")
+	}
+	b, err := s.Block(1, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "world" {
+		t.Errorf("Block = %q", b)
+	}
+	if s.SegmentSize(1) != 11 || s.SegmentSize(0) != 0 {
+		t.Error("SegmentSize wrong")
+	}
+	// Duplicate put keeps the first copy.
+	if err := s.Put(1, []byte("XXXXXXXXXXX")); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = s.Block(1, 0, 5)
+	if string(b) != "hello" {
+		t.Error("duplicate put overwrote data")
+	}
+	bf := s.Bitfield()
+	if bf[0] || !bf[1] || bf[2] {
+		t.Errorf("Bitfield = %v", bf)
+	}
+	if s.Dir() != dir {
+		t.Error("Dir() wrong")
+	}
+}
+
+func TestFileStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory recovers the segment.
+	s2, err := NewFileStore(dir, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Have(0) || s2.Count() != 1 {
+		t.Error("recovery missed the persisted segment")
+	}
+	b, err := s2.Block(0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "persisted" {
+		t.Errorf("recovered data = %q", b)
+	}
+}
+
+func TestFileStoreRecoveryValidatesAgainstManifest(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	dir := t.TempDir()
+	s, err := NewFileStore(dir, len(blobs), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, blobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the on-disk file for segment 0 and write garbage as segment 1.
+	if err := os.WriteFile(filepath.Join(dir, "000001.seg"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "000000.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, "000000.seg"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileStore(dir, len(blobs), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count() != 0 {
+		t.Errorf("corrupt segments survived recovery: %d held", s2.Count())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "000000.seg")); !os.IsNotExist(err) {
+		t.Error("corrupt file not removed")
+	}
+}
+
+func TestFileStoreErrors(t *testing.T) {
+	if _, err := NewFileStore(t.TempDir(), 0, nil); err == nil {
+		t.Error("zero segments: want error")
+	}
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	if _, err := NewFileStore(t.TempDir(), len(blobs)+1, m); err == nil {
+		t.Error("manifest size mismatch: want error")
+	}
+	s, err := NewFileStore(t.TempDir(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, nil); err == nil {
+		t.Error("empty blob: want error")
+	}
+	if err := s.Put(9, []byte("x")); err == nil {
+		t.Error("out-of-range put: want error")
+	}
+	if _, err := s.Block(0, 0, 1); err == nil {
+		t.Error("block of absent segment: want error")
+	}
+	if err := s.Put(0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Block(0, 2, 10); err == nil {
+		t.Error("out-of-range block: want error")
+	}
+}
+
+func TestSeedFromFileStoreAndResume(t *testing.T) {
+	m, blobs := testSwarmData(t, 6*time.Second, 2*time.Second)
+	trk := newTracker(t)
+
+	// Populate a file store as if a prior run had downloaded everything.
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, len(blobs), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blobs {
+		if err := fs.Put(i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seeder, err := SeedFromStore(trk, m, fs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seeder.Close()
+
+	// A resuming viewer already holds segment 0 on disk.
+	viewerDir := t.TempDir()
+	vs, err := NewFileStore(viewerDir, len(blobs), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Put(0, blobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Store = vs
+	viewer, err := Join(trk, seeder.InfoHash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := viewer.WaitComplete(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The resumed segment started playback instantly: startup is zero.
+	if pm := viewer.Playback(); pm.StartupTime != 0 {
+		t.Errorf("resumed viewer startup = %v, want 0", pm.StartupTime)
+	}
+	// Everything on disk matches the seed data.
+	for i, want := range blobs {
+		got, err := vs.Block(i, 0, len(want))
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("segment %d differs", i)
+		}
+	}
+}
+
+func TestSeedFromStoreRejectsIncomplete(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	trk := newTracker(t)
+	fs, err := NewFileStore(t.TempDir(), len(blobs), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SeedFromStore(trk, m, fs, fastConfig()); err == nil {
+		t.Error("incomplete store: want error")
+	}
+	if _, err := SeedFromStore(trk, m, nil, fastConfig()); err == nil {
+		t.Error("nil store: want error")
+	}
+	if _, err := SeedFromStore(nil, m, fs, fastConfig()); err == nil {
+		t.Error("nil tracker: want error")
+	}
+}
+
+func TestJoinRejectsMismatchedStore(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	trk := newTracker(t)
+	seeder, err := Seed(trk, m, blobs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seeder.Close()
+	wrong, err := NewStore(len(blobs) + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Store = wrong
+	if _, err := Join(trk, seeder.InfoHash(), cfg); err == nil {
+		t.Error("mismatched store capacity: want error")
+	}
+}

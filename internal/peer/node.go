@@ -1,0 +1,486 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/core"
+	"p2psplice/internal/player"
+	"p2psplice/internal/shaper"
+	"p2psplice/internal/tracker"
+	"p2psplice/internal/wire"
+)
+
+// Config configures a node.
+type Config struct {
+	// ListenAddr is the TCP address to serve on. Defaults to "127.0.0.1:0".
+	ListenAddr string
+	// Policy is the download-pooling policy. Defaults to core.AdaptivePool.
+	Policy core.Policy
+	// BlockLen is the transfer block size. Defaults to wire.DefaultBlockLen.
+	BlockLen int
+	// MaxConcurrentPerConn bounds simultaneous segment downloads from one
+	// remote peer. Defaults to 2.
+	MaxConcurrentPerConn int
+	// MaxUploadSlots bounds how many connections this node serves blocks to
+	// simultaneously (BitTorrent unchoke slots). A requester beyond the
+	// limit receives MsgChoke and retries after MsgUnchoke. Defaults to 8;
+	// set -1 for unlimited.
+	MaxUploadSlots int
+	// AnnounceInterval is the tracker refresh period. Defaults to 30s.
+	AnnounceInterval time.Duration
+	// DownloadTimeout abandons a segment download making no progress for
+	// this long and retries elsewhere. Defaults to 30s.
+	DownloadTimeout time.Duration
+	// Shape optionally applies an access-link shape (bandwidth/latency) to
+	// all of this node's connections, emulating the paper's GENI links.
+	Shape *shaper.Config
+	// Store optionally supplies the segment storage (e.g. a FileStore for
+	// resume across restarts). Join uses it as-is — segments already
+	// present are kept and not re-downloaded. Its capacity must match the
+	// manifest. Nil means a fresh in-memory store.
+	Store SegmentStore
+	// DialTimeout bounds peer connection attempts. Defaults to 5s.
+	DialTimeout time.Duration
+	// Logf receives debug logs. Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.Policy == nil {
+		c.Policy = core.AdaptivePool{}
+	}
+	if c.BlockLen <= 0 || c.BlockLen > wire.MaxBlockLen {
+		c.BlockLen = wire.DefaultBlockLen
+	}
+	if c.MaxConcurrentPerConn <= 0 {
+		c.MaxConcurrentPerConn = 2
+	}
+	if c.MaxUploadSlots == 0 {
+		c.MaxUploadSlots = 8
+	}
+	if c.MaxUploadSlots < 0 {
+		c.MaxUploadSlots = int(^uint(0) >> 1) // unlimited
+	}
+	if c.AnnounceInterval <= 0 {
+		c.AnnounceInterval = 30 * time.Second
+	}
+	if c.DownloadTimeout <= 0 {
+		c.DownloadTimeout = 30 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats is a snapshot of a node's transfer counters.
+type Stats struct {
+	DownloadedBytes int64
+	UploadedBytes   int64
+	SegmentsHeld    int
+	Connections     int
+}
+
+// Node is one swarm member (seeder or leecher).
+type Node struct {
+	cfg      Config
+	trk      *tracker.Client
+	infoHash wire.InfoHash
+	peerID   wire.PeerID
+	manifest *container.Manifest
+	store    SegmentStore
+	seeder   bool
+
+	ln      net.Listener
+	started time.Time // playback clock origin (leechers)
+
+	mu            sync.Mutex
+	conns         map[wire.PeerID]*conn
+	active        map[int]*segDownload // in-flight segment downloads
+	play          *player.Player       // nil for seeders
+	est           *core.BandwidthEstimator
+	stats         Stats
+	servingConns  int     // occupied upload slots
+	chokedWaiters []*conn // FIFO of choked requesters awaiting a slot
+	closed        bool
+	completeC     chan struct{} // closed when the store completes
+	completeOnce  sync.Once
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Seed publishes the manifest to the tracker and serves the given segment
+// blobs. The returned node runs until Close.
+func Seed(trk *tracker.Client, m *container.Manifest, blobs [][]byte, cfg Config) (*Node, error) {
+	if trk == nil {
+		return nil, errors.New("peer: nil tracker client")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(blobs) != len(m.Segments) {
+		return nil, fmt.Errorf("peer: %d blobs for %d manifest segments", len(blobs), len(m.Segments))
+	}
+	for i, b := range blobs {
+		if err := m.VerifySegment(i, b); err != nil {
+			return nil, fmt.Errorf("peer: seed data: %w", err)
+		}
+	}
+	store, err := NewFullStore(blobs)
+	if err != nil {
+		return nil, err
+	}
+	ih, err := trk.Publish(m)
+	if err != nil {
+		return nil, err
+	}
+	n, err := newNode(trk, ih, m, store, true, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Join fetches the manifest for infoHash from the tracker and starts
+// downloading and playing the clip.
+func Join(trk *tracker.Client, infoHash wire.InfoHash, cfg Config) (*Node, error) {
+	if trk == nil {
+		return nil, errors.New("peer: nil tracker client")
+	}
+	m, err := trk.Manifest(infoHash)
+	if err != nil {
+		return nil, err
+	}
+	var store SegmentStore
+	if cfg.Store != nil {
+		if cfg.Store.Segments() != len(m.Segments) {
+			return nil, fmt.Errorf("peer: supplied store holds %d segments, manifest has %d",
+				cfg.Store.Segments(), len(m.Segments))
+		}
+		store = cfg.Store
+	} else {
+		store, err = NewStore(len(m.Segments))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newNode(trk, infoHash, m, store, false, cfg)
+}
+
+// SeedFromStore serves a swarm from an existing (complete) store — e.g. a
+// FileStore directory left by a previous run — without re-supplying blobs.
+// Every stored segment is verified against the manifest before serving.
+func SeedFromStore(trk *tracker.Client, m *container.Manifest, store SegmentStore, cfg Config) (*Node, error) {
+	if trk == nil {
+		return nil, errors.New("peer: nil tracker client")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil || store.Segments() != len(m.Segments) {
+		return nil, fmt.Errorf("peer: store does not match manifest")
+	}
+	if !store.Complete() {
+		return nil, fmt.Errorf("peer: store incomplete (%d/%d segments)", store.Count(), store.Segments())
+	}
+	for i := range m.Segments {
+		blob, err := store.Block(i, 0, store.SegmentSize(i))
+		if err != nil {
+			return nil, fmt.Errorf("peer: seed data: %w", err)
+		}
+		if err := m.VerifySegment(i, blob); err != nil {
+			return nil, fmt.Errorf("peer: seed data: %w", err)
+		}
+	}
+	ih, err := trk.Publish(m)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(trk, ih, m, store, true, cfg)
+}
+
+func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store SegmentStore, seeder bool, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	peerID, err := wire.NewPeerID()
+	if err != nil {
+		return nil, err
+	}
+	est, err := core.NewBandwidthEstimator(core.DefaultEWMAAlpha)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		cfg:       cfg,
+		trk:       trk,
+		infoHash:  ih,
+		peerID:    peerID,
+		manifest:  m,
+		store:     store,
+		seeder:    seeder,
+		started:   time.Now(),
+		conns:     make(map[wire.PeerID]*conn),
+		active:    make(map[int]*segDownload),
+		est:       est,
+		completeC: make(chan struct{}),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	if store.Complete() {
+		n.completeOnce.Do(func() { close(n.completeC) })
+	}
+	if !seeder {
+		durations := make([]time.Duration, len(m.Segments))
+		for i, s := range m.Segments {
+			durations[i] = s.Duration
+		}
+		n.play, err = player.New(player.Config{SegmentDurations: durations})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		// Segments recovered from a resumed store count as instantly
+		// downloaded: register them before the playback clock starts.
+		for i := 0; i < store.Segments(); i++ {
+			if store.Have(i) {
+				_ = n.play.OnSegmentComplete(i, 0) // index verified in range
+			}
+		}
+		if err := n.play.Start(0); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("peer: listen: %w", err)
+	}
+	if cfg.Shape != nil {
+		shaped, err := shaper.NewListener(ln, *cfg.Shape)
+		if err != nil {
+			ln.Close()
+			cancel()
+			return nil, err
+		}
+		n.ln = shaped
+	} else {
+		n.ln = ln
+	}
+
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.trackerLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// PeerID returns the node's identity.
+func (n *Node) PeerID() wire.PeerID { return n.peerID }
+
+// InfoHash returns the swarm identity.
+func (n *Node) InfoHash() wire.InfoHash { return n.infoHash }
+
+// Manifest returns the clip manifest.
+func (n *Node) Manifest() *container.Manifest { return n.manifest }
+
+// Store exposes the segment store (read-mostly use).
+func (n *Node) Store() SegmentStore { return n.store }
+
+// now returns the playback-clock time (time since the node joined).
+func (n *Node) now() time.Duration { return time.Since(n.started) }
+
+// Playback returns the playback metrics (zero Metrics for a seeder).
+func (n *Node) Playback() player.Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.play == nil {
+		return player.Metrics{}
+	}
+	return n.play.Metrics(n.now())
+}
+
+// Stats snapshots the transfer counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats
+	st.SegmentsHeld = n.store.Count()
+	st.Connections = len(n.conns)
+	return st
+}
+
+// Done returns a channel closed when every segment has been downloaded.
+func (n *Node) Done() <-chan struct{} { return n.completeC }
+
+// WaitComplete blocks until the store is complete or ctx is cancelled.
+func (n *Node) WaitComplete(ctx context.Context) error {
+	select {
+	case <-n.completeC:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.ctx.Done():
+		return errors.New("peer: node closed")
+	}
+}
+
+// Close leaves the swarm and releases all resources.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*conn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	n.cancel()
+	_ = n.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	_ = n.trk.Leave(n.infoHash, n.peerID)
+	n.wg.Wait()
+	return nil
+}
+
+// acceptLoop serves inbound peers.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		raw, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.handleInbound(raw); err != nil {
+				n.cfg.Logf("peer %s: inbound: %v", n.peerID, err)
+			}
+		}()
+	}
+}
+
+func (n *Node) handleInbound(raw net.Conn) error {
+	_ = raw.SetDeadline(time.Now().Add(n.cfg.DialTimeout))
+	hs, err := wire.ReadHandshake(raw)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	if hs.InfoHash != n.infoHash {
+		raw.Close()
+		return fmt.Errorf("wrong swarm %s", hs.InfoHash)
+	}
+	if err := wire.WriteHandshake(raw, wire.Handshake{InfoHash: n.infoHash, PeerID: n.peerID}); err != nil {
+		raw.Close()
+		return err
+	}
+	_ = raw.SetDeadline(time.Time{})
+	return n.startConn(raw, hs.PeerID)
+}
+
+// Connect dials a peer and adds it to the connection set. Connecting to an
+// already-connected peer is a no-op.
+func (n *Node) Connect(addr string) error {
+	var raw net.Conn
+	var err error
+	if n.cfg.Shape != nil {
+		raw, err = shaper.Dial("tcp", addr, *n.cfg.Shape, n.cfg.DialTimeout)
+	} else {
+		raw, err = net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	}
+	if err != nil {
+		return fmt.Errorf("peer: dial %s: %w", addr, err)
+	}
+	_ = raw.SetDeadline(time.Now().Add(n.cfg.DialTimeout))
+	if err := wire.WriteHandshake(raw, wire.Handshake{InfoHash: n.infoHash, PeerID: n.peerID}); err != nil {
+		raw.Close()
+		return err
+	}
+	hs, err := wire.ReadHandshake(raw)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	if hs.InfoHash != n.infoHash {
+		raw.Close()
+		return fmt.Errorf("peer: %s is in swarm %s", addr, hs.InfoHash)
+	}
+	_ = raw.SetDeadline(time.Time{})
+	return n.startConn(raw, hs.PeerID)
+}
+
+// trackerLoop announces periodically and connects to discovered peers.
+func (n *Node) trackerLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.AnnounceInterval)
+	defer t.Stop()
+	n.announceAndConnect()
+	// A faster watchdog drives download retries and timeouts.
+	wd := time.NewTicker(time.Second)
+	defer wd.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-t.C:
+			n.announceAndConnect()
+		case <-wd.C:
+			n.expireStalled()
+			n.reapIdleSlots()
+			n.schedule()
+		}
+	}
+}
+
+func (n *Node) announceAndConnect() {
+	peers, err := n.trk.Announce(n.infoHash, n.peerID, n.Addr(), n.seeder)
+	if err != nil {
+		n.cfg.Logf("peer %s: announce: %v", n.peerID, err)
+		return
+	}
+	for _, p := range peers {
+		if n.hasConn(p.PeerID) {
+			continue
+		}
+		if err := n.Connect(p.Addr); err != nil {
+			n.cfg.Logf("peer %s: connect %s: %v", n.peerID, p.Addr, err)
+		}
+	}
+	n.schedule()
+}
+
+func (n *Node) hasConn(peerIDHex string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.conns {
+		if id.String() == peerIDHex {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+// Package peer implements the real-TCP swarm node: the seeder/leecher
+// application the paper built in Java, here as a Go library. A node serves
+// segments it holds over the wire protocol, downloads missing segments with
+// a pluggable pooling policy (internal/core), verifies them against the
+// published manifest, and feeds a playback model (internal/player) so real
+// deployments report the same metrics as the emulation.
+package peer
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SegmentStore is the storage abstraction a Node serves from and downloads
+// into. Store (in-memory) and FileStore (persistent) implement it.
+// Implementations must be safe for concurrent use.
+type SegmentStore interface {
+	// Segments returns the store capacity.
+	Segments() int
+	// Have reports whether segment i is present.
+	Have(i int) bool
+	// Count returns how many segments are present.
+	Count() int
+	// Complete reports whether every segment is present.
+	Complete() bool
+	// Bitfield snapshots the have-flags.
+	Bitfield() []bool
+	// Put stores segment i (idempotent; first copy wins).
+	Put(i int, blob []byte) error
+	// Block returns length bytes of segment i starting at off.
+	Block(i, off, length int) ([]byte, error)
+	// SegmentSize returns the stored size of segment i, or 0 if absent.
+	SegmentSize(i int) int
+}
+
+var (
+	_ SegmentStore = (*Store)(nil)
+	_ SegmentStore = (*FileStore)(nil)
+)
+
+// Store holds encoded segment containers in memory, keyed by segment index.
+// It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	blobs [][]byte
+	count int
+}
+
+// NewStore returns an empty store for n segments.
+func NewStore(n int) (*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("peer: store needs at least one segment, got %d", n)
+	}
+	return &Store{blobs: make([][]byte, n)}, nil
+}
+
+// NewFullStore returns a store pre-populated with every segment (a seeder).
+func NewFullStore(blobs [][]byte) (*Store, error) {
+	s, err := NewStore(len(blobs))
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range blobs {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("peer: seed segment %d is empty", i)
+		}
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		s.blobs[i] = cp
+	}
+	s.count = len(blobs)
+	return s, nil
+}
+
+// Segments returns the store capacity.
+func (s *Store) Segments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// Have reports whether segment i is present.
+func (s *Store) Have(i int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return i >= 0 && i < len(s.blobs) && s.blobs[i] != nil
+}
+
+// Count returns how many segments are present.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Complete reports whether every segment is present.
+func (s *Store) Complete() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count == len(s.blobs)
+}
+
+// Bitfield snapshots the have-flags.
+func (s *Store) Bitfield() []bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]bool, len(s.blobs))
+	for i, b := range s.blobs {
+		out[i] = b != nil
+	}
+	return out
+}
+
+// Put stores segment i. Duplicate puts are ignored; the first copy wins.
+// The blob is copied, so callers may reuse their buffer.
+func (s *Store) Put(i int, blob []byte) error {
+	if len(blob) == 0 {
+		return fmt.Errorf("peer: empty segment %d", i)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.blobs) {
+		return fmt.Errorf("peer: segment index %d out of range [0, %d)", i, len(s.blobs))
+	}
+	if s.blobs[i] != nil {
+		return nil
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.blobs[i] = cp
+	s.count++
+	return nil
+}
+
+// Block returns length bytes of segment i starting at off. The returned
+// slice is a copy.
+func (s *Store) Block(i int, off, length int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.blobs) || s.blobs[i] == nil {
+		return nil, fmt.Errorf("peer: segment %d not available", i)
+	}
+	b := s.blobs[i]
+	if off < 0 || length <= 0 || off+length > len(b) {
+		return nil, fmt.Errorf("peer: block [%d, %d+%d) outside segment of %d bytes", off, off, length, len(b))
+	}
+	out := make([]byte, length)
+	copy(out, b[off:off+length])
+	return out, nil
+}
+
+// SegmentSize returns the stored size of segment i, or 0 if absent.
+func (s *Store) SegmentSize(i int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.blobs) {
+		return 0
+	}
+	return len(s.blobs[i])
+}

@@ -1,0 +1,320 @@
+package player
+
+import (
+	"testing"
+	"time"
+)
+
+func sec(n float64) time.Duration { return time.Duration(n * float64(time.Second)) }
+
+func newPlayer(t *testing.T, durs ...time.Duration) *Player {
+	t.Helper()
+	p, err := New(Config{SegmentDurations: durs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func four(t *testing.T) *Player {
+	return newPlayer(t, sec(4), sec(4), sec(4), sec(4))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no segments: want error")
+	}
+	if _, err := New(Config{SegmentDurations: []time.Duration{0}}); err == nil {
+		t.Error("zero duration: want error")
+	}
+	if _, err := New(Config{SegmentDurations: []time.Duration{sec(1)}, StartThreshold: 2}); err == nil {
+		t.Error("threshold > segments: want error")
+	}
+}
+
+func TestStartupTime(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.State(sec(1)); got != StateWaiting {
+		t.Errorf("state = %v, want waiting", got)
+	}
+	if err := p.OnSegmentComplete(0, sec(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics(sec(3))
+	if m.StartupTime != sec(2.5) {
+		t.Errorf("StartupTime = %v, want 2.5s", m.StartupTime)
+	}
+	if m.State != StatePlaying {
+		t.Errorf("state = %v, want playing", m.State)
+	}
+}
+
+func TestSmoothPlaybackNoStalls(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	// All segments arrive well ahead of the playhead.
+	for i := 0; i < 4; i++ {
+		if err := p.OnSegmentComplete(i, sec(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Playback: starts at 0s... startup was 0s (seg 0 at t=0).
+	m := p.Metrics(sec(30))
+	if m.Stalls != 0 || m.TotalStall != 0 {
+		t.Errorf("stalls = %d/%v, want none", m.Stalls, m.TotalStall)
+	}
+	if m.State != StateFinished {
+		t.Errorf("state = %v, want finished", m.State)
+	}
+	// Started at t=0, 16s of video: finished at 16s.
+	if m.FinishedAt != sec(16) {
+		t.Errorf("FinishedAt = %v, want 16s", m.FinishedAt)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, sec(1)); err != nil { // play 4s of video from t=1
+		t.Fatal(err)
+	}
+	// Segment 1 arrives at t=7; playhead hit the frontier at t=5.
+	if err := p.OnSegmentComplete(1, sec(7)); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics(sec(7))
+	if m.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", m.Stalls)
+	}
+	if m.TotalStall != sec(2) {
+		t.Errorf("TotalStall = %v, want 2s", m.TotalStall)
+	}
+	if len(m.StallIntervals) != 1 || m.StallIntervals[0] != (Interval{Start: sec(5), End: sec(7)}) {
+		t.Errorf("intervals = %v, want [{5s 7s}]", m.StallIntervals)
+	}
+	// Remaining segments arrive instantly; finish without further stalls.
+	if err := p.OnSegmentComplete(2, sec(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(3, sec(7)); err != nil {
+		t.Fatal(err)
+	}
+	m = p.Metrics(sec(60))
+	if m.Stalls != 1 {
+		t.Errorf("final stalls = %d, want 1", m.Stalls)
+	}
+	// Played 4s (1..5), stalled 2s (5..7), played 12s (7..19).
+	if m.FinishedAt != sec(19) {
+		t.Errorf("FinishedAt = %v, want 19s", m.FinishedAt)
+	}
+}
+
+func TestOpenStallCounted(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Playhead exhausts segment 0 at t=4; still stalled at t=10.
+	m := p.Metrics(sec(10))
+	if m.State != StateStalled {
+		t.Fatalf("state = %v, want stalled", m.State)
+	}
+	if m.Stalls != 1 || m.TotalStall != sec(6) {
+		t.Errorf("open stall = %d/%v, want 1/6s", m.Stalls, m.TotalStall)
+	}
+	if len(m.StallIntervals) != 0 {
+		t.Errorf("open stall should not appear in closed intervals: %v", m.StallIntervals)
+	}
+}
+
+func TestOutOfOrderCompletionNoResume(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Segment 2 (non-contiguous) arrives during the stall: no resume.
+	if err := p.OnSegmentComplete(2, sec(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.State(sec(6)); got != StateStalled {
+		t.Errorf("state = %v, want still stalled", got)
+	}
+	// Segment 1 closes the gap at t=8: contiguous jumps to 3, resume.
+	if err := p.OnSegmentComplete(1, sec(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Contiguous(); got != 3 {
+		t.Errorf("contiguous = %d, want 3", got)
+	}
+	if got := p.State(sec(8)); got != StatePlaying {
+		t.Errorf("state = %v, want playing", got)
+	}
+	m := p.Metrics(sec(8))
+	if m.Stalls != 1 || m.TotalStall != sec(4) {
+		t.Errorf("stalls = %d/%v, want 1/4s", m.Stalls, m.TotalStall)
+	}
+}
+
+func TestBufferedAhead(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.BufferedAhead(0); got != 0 {
+		t.Errorf("initial BufferedAhead = %v, want 0", got)
+	}
+	if err := p.OnSegmentComplete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.BufferedAhead(0); got != sec(8) {
+		t.Errorf("BufferedAhead = %v, want 8s", got)
+	}
+	if got := p.BufferedAhead(sec(3)); got != sec(5) {
+		t.Errorf("BufferedAhead at 3s = %v, want 5s", got)
+	}
+}
+
+func TestStartThreshold(t *testing.T) {
+	p, err := New(Config{SegmentDurations: []time.Duration{sec(2), sec(2), sec(2)}, StartThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, sec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.State(sec(1)); got != StateWaiting {
+		t.Errorf("after 1 segment: state = %v, want waiting", got)
+	}
+	if err := p.OnSegmentComplete(1, sec(3)); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics(sec(3))
+	if m.StartupTime != sec(3) || m.State != StatePlaying {
+		t.Errorf("startup = %v state = %v, want 3s playing", m.StartupTime, m.State)
+	}
+}
+
+func TestSegmentsBeforeStart(t *testing.T) {
+	p := four(t)
+	for i := 0; i < 4; i++ {
+		if err := p.OnSegmentComplete(i, sec(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Start(sec(5)); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics(sec(5))
+	if m.StartupTime != 0 || m.State != StatePlaying {
+		t.Errorf("pre-buffered start: startup = %v state = %v", m.StartupTime, m.State)
+	}
+}
+
+func TestDuplicateAndInvalidCompletions(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, sec(1)); err != nil {
+		t.Errorf("duplicate completion should be ignored, got %v", err)
+	}
+	if err := p.OnSegmentComplete(-1, 0); err == nil {
+		t.Error("negative index: want error")
+	}
+	if err := p.OnSegmentComplete(4, 0); err == nil {
+		t.Error("out-of-range index: want error")
+	}
+	if p.Completed(-1) || p.Completed(99) {
+		t.Error("out-of-range Completed should be false")
+	}
+	if !p.Completed(0) || p.Completed(1) {
+		t.Error("Completed flags wrong")
+	}
+}
+
+func TestDoubleStart(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(sec(1)); err == nil {
+		t.Error("second Start: want error")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		StateIdle: "idle", StateWaiting: "waiting", StatePlaying: "playing",
+		StateStalled: "stalled", StateFinished: "finished", State(9): "State(9)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, w)
+		}
+	}
+}
+
+func TestZeroLengthStallNotCounted(t *testing.T) {
+	p := four(t)
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Segment 1 arrives at exactly the instant the buffer empties.
+	if err := p.OnSegmentComplete(1, sec(4)); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics(sec(5))
+	if m.Stalls != 0 {
+		t.Errorf("zero-length stall counted: %d", m.Stalls)
+	}
+	if m.State != StatePlaying {
+		t.Errorf("state = %v, want playing", m.State)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := four(t)
+	if p.SegmentCount() != 4 {
+		t.Errorf("SegmentCount = %d, want 4", p.SegmentCount())
+	}
+	if p.ClipDuration() != sec(16) {
+		t.Errorf("ClipDuration = %v, want 16s", p.ClipDuration())
+	}
+	if p.NextMissing() != 0 {
+		t.Errorf("NextMissing = %d, want 0", p.NextMissing())
+	}
+	if err := p.OnSegmentComplete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.NextMissing() != 1 {
+		t.Errorf("NextMissing = %d, want 1", p.NextMissing())
+	}
+	if got := p.Position(sec(10)); got != 0 {
+		t.Errorf("idle Position = %v, want 0", got)
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	e.Schedule(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Errorf("fired = %v, want [1s 2s]", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	tm.Cancel()
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !tm.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+	if nilTimer.Cancelled() {
+		t.Error("nil timer should not report cancelled")
+	}
+}
+
+func TestNegativeDelayAndPastTime(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("negative delay fired at %v, want 1s", e.Now())
+			}
+		})
+		e.At(0, func() {
+			if e.Now() != time.Second {
+				t.Errorf("past At fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	e := New(1)
+	var loop func()
+	loop = func() { e.Schedule(time.Millisecond, loop) }
+	e.Schedule(0, loop)
+	if err := e.Run(100); err == nil {
+		t.Error("want budget-exhausted error for livelock")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events after second RunUntil, want 3", len(fired))
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(time.Second, func() { t.Error("cancelled event fired") })
+	tm.Cancel()
+	e.RunUntil(2 * time.Second)
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestAtNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for nil function")
+		}
+	}()
+	New(1).At(0, nil)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var draws []int64
+		for i := 0; i < 5; i++ {
+			e.Schedule(time.Duration(i)*time.Second, func() {
+				draws = append(draws, e.RNG().Int63())
+			})
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different RNG draws")
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestQuickMonotoneClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		var times []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,362 @@
+package simpeer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p2psplice/internal/core"
+	"p2psplice/internal/netem"
+	"p2psplice/internal/player"
+)
+
+// sortedKeys returns the map's keys in ascending order for deterministic
+// iteration.
+func sortedKeys(m map[int]*download) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// peerState is one node's swarm state (seeder or leecher).
+type peerState struct {
+	id       int
+	rate     int64 // configured access rate (oracle policy input)
+	node     netem.NodeID
+	isSeeder bool
+	isCDN    bool
+
+	have      []bool
+	haveCount int
+
+	// Leecher-only fields.
+	player   *player.Player
+	inFlight map[int]*download // segment index -> active download
+	uploads  int               // concurrent uploads this node serves
+	est      *core.BandwidthEstimator
+	estGuess int64
+	joined   time.Duration
+	departed bool
+
+	// lastSrc is the source of this peer's most recent download. Peers keep
+	// stable relationships (the unchoke pairs of a piece-level protocol stay
+	// put for tens of seconds), which keeps the distribution chain — and
+	// each peer's pipeline depth in it — stable from segment to segment.
+	lastSrc *peerState
+	// uploading counts, per segment index, how many copies of that segment
+	// this node is currently sending. A node never sends the same segment
+	// twice in parallel: the second requester chains off the first copy
+	// (see pickSource), which is how the piece-level protocol behaves.
+	uploading map[int]int
+	// retryPending marks a scheduled source-retry so fill does not stack
+	// duplicate timers while the peer waits for an eligible source.
+	retryPending bool
+}
+
+// download is one in-flight segment transfer with its chosen source.
+type download struct {
+	flow *netem.Flow
+	src  *peerState
+}
+
+// bandwidth returns the B fed into the pooling policy.
+func (s *swarm) bandwidth(p *peerState) int64 {
+	if s.cfg.OracleBandwidth {
+		if p.rate > 0 {
+			return p.rate
+		}
+		return s.cfg.BandwidthBytesPerSec
+	}
+	if b := p.est.Estimate(); b > 0 {
+		return b
+	}
+	return p.estGuess
+}
+
+// wanted reports whether p still needs segment idx and is not fetching it.
+func (p *peerState) wanted(idx int) bool {
+	if p.have[idx] {
+		return false
+	}
+	_, fetching := p.inFlight[idx]
+	return !fetching
+}
+
+// nextWanted returns the index of the next segment to request, or -1.
+func (s *swarm) nextWanted(p *peerState) int {
+	first := -1
+	for idx := 0; idx < len(s.segs); idx++ {
+		if !p.wanted(idx) {
+			continue
+		}
+		if first == -1 {
+			first = idx
+		}
+		if s.cfg.Selection == SelectSequential {
+			return idx
+		}
+		break
+	}
+	if first == -1 || s.cfg.Selection != SelectRarestFirst {
+		return first
+	}
+	// Rarest-first within a lookahead window of wanted segments.
+	window := s.cfg.RarestWindow
+	if window <= 0 {
+		window = 8
+	}
+	best, bestHolders := -1, int(^uint(0)>>1)
+	seen := 0
+	for idx := first; idx < len(s.segs) && seen < window; idx++ {
+		if !p.wanted(idx) {
+			continue
+		}
+		seen++
+		holders := s.holderCount(idx)
+		if holders > 0 && holders < bestHolders {
+			best, bestHolders = idx, holders
+		}
+	}
+	if best == -1 {
+		return first
+	}
+	return best
+}
+
+// holderCount counts active peers holding segment idx.
+func (s *swarm) holderCount(idx int) int {
+	n := 0
+	for _, q := range s.peers {
+		if !q.departed && q.have[idx] {
+			n++
+		}
+	}
+	return n
+}
+
+// uploadSlots resolves the per-peer upload cap: the configured value, the
+// default of 4 when unset, or 0 (unlimited) when negative.
+func (s *swarm) uploadSlots() int {
+	switch {
+	case s.cfg.MaxUploadsPerPeer > 0:
+		return s.cfg.MaxUploadsPerPeer
+	case s.cfg.MaxUploadsPerPeer < 0:
+		return 0
+	default:
+		return 4
+	}
+}
+
+// sourceProgress returns how much of segment idx the candidate q can serve:
+// 1.0 for a full holder, the download progress for a relaying leecher, and
+// -1 if q cannot serve the segment at all.
+func (s *swarm) sourceProgress(q *peerState, idx int) float64 {
+	if q.have[idx] {
+		return 1
+	}
+	if s.cfg.DisableRelay || q.isSeeder {
+		return -1
+	}
+	d, ok := q.inFlight[idx]
+	if !ok {
+		return -1
+	}
+	size := d.flow.Size()
+	if size <= 0 {
+		return -1
+	}
+	progress := 1 - float64(d.flow.Remaining())/float64(size)
+	threshold := s.cfg.RelayThreshold
+	if threshold <= 0 {
+		threshold = defaultRelayThreshold
+	}
+	if progress < threshold {
+		return -1
+	}
+	return progress
+}
+
+// defaultRelayThreshold is a couple of 16 kB pieces into a typical segment.
+const defaultRelayThreshold = 0.02
+
+// sourceRetryDelay is how soon a peer that found no eligible source looks
+// again. It stands in for the continuous per-piece re-evaluation of the real
+// protocol (there is no protocol event for "a relay crossed its threshold").
+const sourceRetryDelay = 250 * time.Millisecond
+
+// eligible reports whether q can serve segment idx to p right now.
+func (s *swarm) eligible(p, q *peerState, idx int) bool {
+	if q == p || q.departed {
+		return false
+	}
+	if s.sourceProgress(q, idx) < 0 {
+		return false
+	}
+	if cap := s.uploadSlots(); cap > 0 && q.uploads >= cap {
+		return false
+	}
+	// q already sending this segment to someone: a duplicate upload would
+	// split the frontier rate. The requester chains off the in-flight copy
+	// once it crosses the relay threshold.
+	return q.uploading[idx] == 0
+}
+
+// pickSource chooses the uploader for segment idx: the previous source if it
+// is still eligible (stable unchoke relationships keep the distribution
+// chain, and every peer's pipeline depth in it, steady across segments),
+// otherwise the least-loaded eligible source, ties broken by higher relay
+// progress and then by lowest peer ID (deterministic). The CDN, when
+// configured, is a fallback only: swarm sources offload it (the paper's
+// hybrid architecture serves "by peers as well as a CDN").
+func (s *swarm) pickSource(p *peerState, idx int) *peerState {
+	if p.lastSrc != nil && !p.lastSrc.isCDN && s.eligible(p, p.lastSrc, idx) {
+		return p.lastSrc
+	}
+	var best *peerState
+	var bestProgress float64
+	for _, q := range s.peers {
+		if !s.eligible(p, q, idx) {
+			continue
+		}
+		progress := s.sourceProgress(q, idx)
+		if best == nil || q.uploads < best.uploads ||
+			(q.uploads == best.uploads && progress > bestProgress) {
+			best, bestProgress = q, progress
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if s.cdn != nil && s.cdnEligible(p) {
+		return s.cdn
+	}
+	return nil
+}
+
+// cdnEligible enforces the paper's hybrid rule: a client downloads at most
+// one segment at a time from the CDN.
+func (s *swarm) cdnEligible(p *peerState) bool {
+	for _, d := range p.inFlight {
+		if d.src.isCDN {
+			return false
+		}
+	}
+	return true
+}
+
+// fill tops up p's download pool according to its policy. It is called on
+// join and after every event that could change the decision (completion,
+// cancellation, departure); when a wanted segment has no eligible source it
+// schedules a short retry.
+func (s *swarm) fill(p *peerState) {
+	if p.isSeeder || p.departed {
+		return
+	}
+	now := s.eng.Now()
+	next := s.nextWanted(p)
+	if next == -1 {
+		return // everything downloaded or in flight
+	}
+	target := s.cfg.Policy.PoolSize(
+		s.bandwidth(p),
+		p.player.BufferedAhead(now),
+		s.segs[next].Bytes,
+	)
+	if len(p.inFlight) >= target {
+		return
+	}
+	// The pool is the next `target` wanted segments; request every one with
+	// an eligible source, skipping over segments that are momentarily
+	// sourceless so a fixed pool still pipelines.
+	blocked := false
+	for idx := next; idx < len(s.segs) && len(p.inFlight) < target; idx++ {
+		if !p.wanted(idx) {
+			continue
+		}
+		if src := s.pickSource(p, idx); src != nil {
+			s.startDownload(p, src, idx)
+		} else {
+			blocked = true
+		}
+	}
+	if blocked && !p.retryPending {
+		p.retryPending = true
+		s.eng.Schedule(sourceRetryDelay, func() {
+			p.retryPending = false
+			if !p.departed {
+				s.fill(p)
+			}
+		})
+	}
+}
+
+// startDownload launches one segment transfer.
+func (s *swarm) startDownload(p, src *peerState, idx int) {
+	if s.cfg.Trace {
+		fmt.Printf("%8.2fs peer%d <- peer%d seg%d (srcUploads=%d inflight=%d T=%v)\n",
+			s.eng.Now().Seconds(), p.id, src.id, idx, src.uploads, len(p.inFlight),
+			p.player.BufferedAhead(s.eng.Now()).Round(100*time.Millisecond))
+	}
+	src.uploads++
+	src.uploading[idx]++
+	opts := netem.TransferOptions{ReuseConnection: !s.cfg.FreshConnectionPerSegment}
+	flow, err := s.net.StartTransfer(src.node, p.node, s.segs[idx].Bytes, opts,
+		func(f *netem.Flow) { s.onDownloadComplete(p, src, idx, f) })
+	if err != nil {
+		// Unreachable: nodes and sizes are validated at setup.
+		panic("simpeer: start transfer: " + err.Error())
+	}
+	p.inFlight[idx] = &download{flow: flow, src: src}
+	p.lastSrc = src
+}
+
+// onDownloadComplete handles a finished segment transfer.
+func (s *swarm) onDownloadComplete(p, src *peerState, idx int, f *netem.Flow) {
+	if s.cfg.Trace {
+		fmt.Printf("%8.2fs peer%d DONE seg%d from peer%d in %.2fs (%.0f B/s)\n",
+			s.eng.Now().Seconds(), p.id, idx, src.id, f.Elapsed().Seconds(),
+			float64(f.Size())/f.Elapsed().Seconds())
+	}
+	src.uploads--
+	src.uploading[idx]--
+	delete(p.inFlight, idx)
+	if p.departed {
+		return
+	}
+	now := s.eng.Now()
+	p.est.Observe(f.Size(), f.Elapsed())
+	if !p.have[idx] {
+		p.have[idx] = true
+		p.haveCount++
+	}
+	if err := p.player.OnSegmentComplete(idx, now); err != nil {
+		panic("simpeer: segment complete: " + err.Error()) // unreachable
+	}
+	// New availability can unblock any peer; refill everyone (p included).
+	s.fillAll()
+	// Once every active leecher holds every segment, background traffic has
+	// served its purpose: cancel it so the simulation can drain.
+	if len(s.cross) > 0 && s.allDownloadsDone() {
+		for _, f := range s.cross {
+			f.Cancel()
+		}
+		s.cross = nil
+	}
+}
+
+// allDownloadsDone reports whether every non-departed leecher holds every
+// segment.
+func (s *swarm) allDownloadsDone() bool {
+	for _, q := range s.peers[1:] {
+		if q.departed {
+			continue
+		}
+		if q.haveCount != len(s.segs) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,524 @@
+// Package simpeer emulates the paper's experimental swarm: one seeder and N
+// leechers on a star topology, exchanging spliced video segments with a
+// BitTorrent-like sequential-with-pool strategy while every leecher plays
+// the clip. It drives internal/netem with download decisions from
+// internal/core policies and measures playback with internal/player.
+package simpeer
+
+import (
+	"fmt"
+	"time"
+
+	"p2psplice/internal/core"
+	"p2psplice/internal/metrics"
+	"p2psplice/internal/netem"
+	"p2psplice/internal/player"
+	"p2psplice/internal/sim"
+	"p2psplice/internal/topology"
+)
+
+// SegmentMeta is what the swarm needs to know about each segment: its wire
+// size and display duration (from the manifest).
+type SegmentMeta struct {
+	Bytes    int64
+	Duration time.Duration
+}
+
+// SelectionStrategy picks which wanted segment to request next.
+type SelectionStrategy uint8
+
+const (
+	// SelectSequential requests the lowest-index wanted segment (the
+	// paper's sequential-viewing strategy).
+	SelectSequential SelectionStrategy = iota
+	// SelectRarestFirst requests, within the next RarestWindow wanted
+	// segments, the one with the fewest holders (the BitTorrent default,
+	// used as an ablation).
+	SelectRarestFirst
+)
+
+// CDNAssist configures the hybrid architecture's CDN origin.
+type CDNAssist struct {
+	// BandwidthBytesPerSec is the CDN's uplink capacity. Must be positive.
+	BandwidthBytesPerSec int64
+	// AccessDelay is the CDN's one-way delay to the star hub. CDNs are
+	// close; zero is typical.
+	AccessDelay time.Duration
+}
+
+// ChurnModel makes leechers depart mid-swarm (the paper's motivation for
+// prefetching: "peers can leave the swarm anytime").
+type ChurnModel struct {
+	// MeanOnline is the mean exponential online time of a leecher after it
+	// joins. Zero disables churn.
+	MeanOnline time.Duration
+	// MinRemaining stops departures once this many leechers remain.
+	MinRemaining int
+}
+
+// SwarmConfig configures one emulated run.
+type SwarmConfig struct {
+	// Seed drives all randomness (join jitter, churn, tie-breaks).
+	Seed int64
+	// Leechers is the number of downloading viewers. The paper uses 19
+	// leechers plus one seeder (twenty nodes).
+	Leechers int
+	// BandwidthBytesPerSec is every node's symmetric access-link rate (the
+	// quantity the paper sweeps).
+	BandwidthBytesPerSec int64
+	// LeecherBandwidths optionally overrides individual leechers' access
+	// rates (heterogeneous swarms; index i configures leecher i+1). Missing
+	// or non-positive entries fall back to BandwidthBytesPerSec. The oracle
+	// policy input uses each peer's own rate.
+	LeecherBandwidths []int64
+	// PeerAccessDelay is each leecher's one-way delay to the star hub
+	// (peer-to-peer latency is twice this; the paper's 50 ms corresponds
+	// to 25 ms).
+	PeerAccessDelay time.Duration
+	// SeederAccessDelay is the seeder's one-way delay to the hub (475 ms
+	// reproduces the paper's 500 ms seeder latency in the startup
+	// experiment).
+	SeederAccessDelay time.Duration
+	// LossRate is the per-access-link packet loss probability (paper: 5%).
+	LossRate float64
+	// Policy is the download-pooling policy every leecher uses.
+	Policy core.Policy
+	// OracleBandwidth, when true, feeds the configured link bandwidth into
+	// the policy (the paper "simulated the bandwidth on GENI"). When false,
+	// leechers estimate bandwidth with an EWMA over completed downloads.
+	OracleBandwidth bool
+	// InitialBandwidthGuess seeds the EWMA estimator before any download
+	// completes (only used when OracleBandwidth is false). Defaults to
+	// 64 kB/s.
+	InitialBandwidthGuess int64
+	// StartThreshold is how many leading segments a player buffers before
+	// starting playback. Defaults to 1.
+	StartThreshold int
+	// ResumeBuffer is the player's rebuffering depth after a stall (see
+	// player.Config.ResumeThreshold). Zero resumes on the next segment.
+	ResumeBuffer time.Duration
+	// JoinSpread staggers leecher joins uniformly over [0, JoinSpread].
+	JoinSpread time.Duration
+	// MaxUploadsPerPeer caps concurrent uploads per node — BitTorrent-style
+	// unchoke slots. Without a cap, every peer's pool lands on the seeder
+	// (the only holder of future segments) and the pile-up of TCP flows
+	// collapses its uplink. Default 4; set -1 for unlimited (ablation).
+	MaxUploadsPerPeer int
+	// Selection picks the next segment to request. Default sequential.
+	Selection SelectionStrategy
+	// RarestWindow bounds rarest-first lookahead (default 8).
+	RarestWindow int
+	// RelayThreshold is the minimum download progress (fraction of segment
+	// bytes received) at which a leecher starts serving that segment to
+	// others. This models the BitTorrent-style piece-level exchange of the
+	// paper's protocol: a segment is the splicing unit, but transfers move
+	// in small pieces, so a peer relays a segment while still fetching it.
+	// Without relaying, a swarm of simultaneous sequential viewers
+	// degenerates to seeder fan-out (every peer waits on the only full
+	// holder). Default 0.1; set DisableRelay for strict store-and-forward.
+	RelayThreshold float64
+	// DisableRelay forces whole-segment store-and-forward (ablation).
+	DisableRelay bool
+	// FreshConnectionPerSegment opens a new TCP connection for every
+	// segment request (1.5 RTT handshake before the first byte) instead of
+	// the default persistent peer connections (0.5 RTT request latency,
+	// with slow-start restart after idle still applying). The paper's
+	// observation that 2 s segments create "many small TCP connections"
+	// is ablated with this flag.
+	FreshConnectionPerSegment bool
+	// Churn optionally makes leechers depart.
+	Churn ChurnModel
+	// CDN optionally adds the paper's Section IV hybrid architecture: a
+	// CDN node holding every segment. Peers prefer swarm sources and fall
+	// back to the CDN, and — per the paper — each client downloads at most
+	// one segment at a time from it.
+	CDN *CDNAssist
+	// CrossTraffic adds this many unbounded background flows between
+	// dedicated traffic nodes and random leechers (congestion ablation).
+	CrossTraffic int
+	// BandwidthSchedule optionally varies every leecher's access bandwidth
+	// over time (the paper's variable-bandwidth future work).
+	BandwidthSchedule []netem.BandwidthStep
+	// Topology optionally supplies per-node link parameters from a
+	// declarative spec (the paper's RSpec equivalent): the spec's seeder
+	// configures the seeder node and its leechers configure the leechers in
+	// declaration order. When set, it overrides Leechers,
+	// BandwidthBytesPerSec, LeecherBandwidths, the access delays, and
+	// LossRate. Nodes with the traffic role become unbounded cross-traffic
+	// sources aimed at successive leechers.
+	Topology *topology.Spec
+	// Net tunes the TCP model (zero value uses netem defaults).
+	Net netem.Config
+	// MaxEvents bounds the simulation (0 = default of 20 million).
+	MaxEvents int
+	// Trace dumps per-download decisions to stdout (debugging aid).
+	Trace bool
+	// ManifestBytes is the size of the swarm/clip metadata a joining peer
+	// fetches from the seeder before requesting segments (the paper: "each
+	// peer contacts the seeder and gets different information about the
+	// video and the swarm"). Default 4096; this is why the seeder's 500 ms
+	// latency shows up in every startup time.
+	ManifestBytes int64
+}
+
+func (c SwarmConfig) validate() error {
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+		if len(c.Topology.Leechers()) == 0 {
+			return fmt.Errorf("simpeer: topology has no leechers")
+		}
+	} else {
+		if c.Leechers < 1 {
+			return fmt.Errorf("simpeer: need at least 1 leecher, got %d", c.Leechers)
+		}
+		if c.BandwidthBytesPerSec <= 0 {
+			return fmt.Errorf("simpeer: bandwidth must be positive, got %d", c.BandwidthBytesPerSec)
+		}
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("simpeer: nil policy")
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("simpeer: loss rate %v outside [0, 1)", c.LossRate)
+	}
+	if c.PeerAccessDelay < 0 || c.SeederAccessDelay < 0 {
+		return fmt.Errorf("simpeer: negative access delay")
+	}
+	if c.CDN != nil {
+		if c.CDN.BandwidthBytesPerSec <= 0 {
+			return fmt.Errorf("simpeer: CDN bandwidth must be positive, got %d", c.CDN.BandwidthBytesPerSec)
+		}
+		if c.CDN.AccessDelay < 0 {
+			return fmt.Errorf("simpeer: negative CDN access delay")
+		}
+	}
+	return nil
+}
+
+// PeerResult is one leecher's outcome.
+type PeerResult struct {
+	Peer     int
+	Departed bool
+	Metrics  player.Metrics
+}
+
+// Result is the outcome of one emulated run.
+type Result struct {
+	// Samples holds one entry per leecher that stayed in the swarm,
+	// in peer order.
+	Samples []metrics.PlaybackSample
+	// Peers holds detailed per-leecher results (departed peers included).
+	Peers []PeerResult
+	// EndTime is the virtual time at which the last event fired.
+	EndTime time.Duration
+	// Departed counts churned-out leechers.
+	Departed int
+}
+
+// Summary aggregates the non-departed samples.
+func (r *Result) Summary() metrics.Summary { return metrics.Summarize(r.Samples) }
+
+// RunSwarm executes one deterministic emulated run.
+func RunSwarm(cfg SwarmConfig, segs []SegmentMeta) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("simpeer: no segments")
+	}
+	for i, s := range segs {
+		if s.Bytes <= 0 || s.Duration <= 0 {
+			return nil, fmt.Errorf("simpeer: segment %d has non-positive size or duration", i)
+		}
+	}
+
+	eng := sim.New(cfg.Seed)
+	net := netem.New(eng, cfg.Net)
+	sw := &swarm{eng: eng, net: net, cfg: cfg, segs: segs}
+
+	if err := sw.setup(); err != nil {
+		return nil, err
+	}
+
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 20_000_000
+	}
+	if err := eng.Run(maxEvents); err != nil {
+		return nil, fmt.Errorf("simpeer: %w", err)
+	}
+
+	return sw.collect(), nil
+}
+
+// swarm is the run-scoped state.
+type swarm struct {
+	eng   *sim.Engine
+	net   *netem.Network
+	cfg   SwarmConfig
+	segs  []SegmentMeta
+	peers []*peerState // peers[0] is the seeder
+	// cdn is the Section IV hybrid origin, or nil. It is not in peers.
+	cdn *peerState
+	// cross holds background traffic flows; they are cancelled once every
+	// leecher has finished downloading so the event queue can drain.
+	cross []*netem.Flow
+}
+
+// nodePlan resolves the per-node link parameters, either from the scalar
+// config fields or from the declarative topology spec.
+func (s *swarm) nodePlan() (seeder netem.NodeConfig, leechers, traffic []netem.NodeConfig, err error) {
+	if s.cfg.Topology != nil {
+		return s.cfg.Topology.ResolvedByRole()
+	}
+	seeder = netem.NodeConfig{
+		UplinkBytesPerSec:   s.cfg.BandwidthBytesPerSec,
+		DownlinkBytesPerSec: s.cfg.BandwidthBytesPerSec,
+		AccessDelay:         s.cfg.SeederAccessDelay,
+		LossRate:            s.cfg.LossRate,
+	}
+	for i := 0; i < s.cfg.Leechers; i++ {
+		rate := s.cfg.BandwidthBytesPerSec
+		if i < len(s.cfg.LeecherBandwidths) && s.cfg.LeecherBandwidths[i] > 0 {
+			rate = s.cfg.LeecherBandwidths[i]
+		}
+		leechers = append(leechers, netem.NodeConfig{
+			UplinkBytesPerSec:   rate,
+			DownlinkBytesPerSec: rate,
+			AccessDelay:         s.cfg.PeerAccessDelay,
+			LossRate:            s.cfg.LossRate,
+		})
+	}
+	for i := 0; i < s.cfg.CrossTraffic; i++ {
+		traffic = append(traffic, netem.NodeConfig{
+			UplinkBytesPerSec:   s.cfg.BandwidthBytesPerSec,
+			DownlinkBytesPerSec: s.cfg.BandwidthBytesPerSec,
+			AccessDelay:         s.cfg.PeerAccessDelay,
+		})
+	}
+	return seeder, leechers, traffic, nil
+}
+
+func (s *swarm) setup() error {
+	seederNC, leecherNCs, trafficNCs, err := s.nodePlan()
+	if err != nil {
+		return err
+	}
+	seederNode, err := s.net.AddNode(seederNC)
+	if err != nil {
+		return err
+	}
+	seeder := &peerState{
+		id: 0, node: seederNode, isSeeder: true,
+		have:      make([]bool, len(s.segs)),
+		uploading: make(map[int]int),
+	}
+	for i := range seeder.have {
+		seeder.have[i] = true
+	}
+	seeder.haveCount = len(s.segs)
+	s.peers = append(s.peers, seeder)
+
+	if s.cfg.CDN != nil {
+		cdnNode, err := s.net.AddNode(netem.NodeConfig{
+			UplinkBytesPerSec:   s.cfg.CDN.BandwidthBytesPerSec,
+			DownlinkBytesPerSec: s.cfg.CDN.BandwidthBytesPerSec,
+			AccessDelay:         s.cfg.CDN.AccessDelay,
+		})
+		if err != nil {
+			return err
+		}
+		cdn := &peerState{
+			id: -1, node: cdnNode, isSeeder: true, isCDN: true,
+			have:      make([]bool, len(s.segs)),
+			uploading: make(map[int]int),
+		}
+		for i := range cdn.have {
+			cdn.have[i] = true
+		}
+		cdn.haveCount = len(s.segs)
+		// The CDN is tracked outside s.peers: peers[0] must stay the seeder
+		// and peers[1:] the leechers for metric collection and churn.
+		s.cdn = cdn
+	}
+
+	durations := make([]time.Duration, len(s.segs))
+	for i, sg := range s.segs {
+		durations[i] = sg.Duration
+	}
+
+	guess := s.cfg.InitialBandwidthGuess
+	if guess <= 0 {
+		guess = 64 * 1024
+	}
+
+	for i := 1; i <= len(leecherNCs); i++ {
+		nc := leecherNCs[i-1]
+		rate := nc.DownlinkBytesPerSec
+		node, err := s.net.AddNode(nc)
+		if err != nil {
+			return err
+		}
+		pl, err := player.New(player.Config{
+			SegmentDurations: durations,
+			StartThreshold:   s.cfg.StartThreshold,
+			ResumeThreshold:  s.cfg.ResumeBuffer,
+		})
+		if err != nil {
+			return err
+		}
+		est, err := core.NewBandwidthEstimator(core.DefaultEWMAAlpha)
+		if err != nil {
+			return err
+		}
+		p := &peerState{
+			id:        i,
+			rate:      rate,
+			node:      node,
+			have:      make([]bool, len(s.segs)),
+			player:    pl,
+			inFlight:  make(map[int]*download),
+			uploading: make(map[int]int),
+			est:       est,
+			estGuess:  guess,
+		}
+		s.peers = append(s.peers, p)
+
+		var join time.Duration
+		if s.cfg.JoinSpread > 0 {
+			join = time.Duration(s.eng.RNG().Int63n(int64(s.cfg.JoinSpread)))
+		}
+		s.eng.At(join, func() { s.join(p) })
+
+		if len(s.cfg.BandwidthSchedule) > 0 {
+			if err := s.net.ScheduleBandwidth(node, s.cfg.BandwidthSchedule); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Cross traffic: unbounded flows from dedicated nodes into leechers.
+	for _, nc := range trafficNCs {
+		src, err := s.net.AddNode(nc)
+		if err != nil {
+			return err
+		}
+		dst := s.peers[1+s.eng.RNG().Intn(len(leecherNCs))].node
+		f, err := s.net.StartTransfer(src, dst, 0, netem.TransferOptions{Unbounded: true}, nil)
+		if err != nil {
+			return err
+		}
+		s.cross = append(s.cross, f)
+	}
+	return nil
+}
+
+// join starts a leecher: the viewer presses play, the peer fetches the
+// manifest from the seeder, and then downloading begins.
+func (s *swarm) join(p *peerState) {
+	p.joined = s.eng.Now()
+	if err := p.player.Start(s.eng.Now()); err != nil {
+		panic(fmt.Sprintf("simpeer: start player: %v", err)) // unreachable by construction
+	}
+	if s.cfg.Churn.MeanOnline > 0 {
+		online := time.Duration(s.eng.RNG().ExpFloat64() * float64(s.cfg.Churn.MeanOnline))
+		s.eng.Schedule(online, func() { s.depart(p) })
+	}
+	manifest := s.cfg.ManifestBytes
+	if manifest <= 0 {
+		manifest = 4096
+	}
+	if _, err := s.net.StartTransfer(s.peers[0].node, p.node, manifest, netem.TransferOptions{},
+		func(*netem.Flow) {
+			if !p.departed {
+				s.fill(p)
+			}
+		}); err != nil {
+		panic("simpeer: fetch manifest: " + err.Error()) // unreachable
+	}
+}
+
+// depart removes a leecher from the swarm (churn).
+func (s *swarm) depart(p *peerState) {
+	if p.departed || p.isSeeder {
+		return
+	}
+	remaining := 0
+	for _, q := range s.peers[1:] {
+		if !q.departed {
+			remaining++
+		}
+	}
+	if remaining <= s.cfg.Churn.MinRemaining {
+		return
+	}
+	p.departed = true
+	// Abort this peer's downloads, returning the upload slots it held.
+	// Iterate in sorted key order: map order is randomized and cancellation
+	// order influences event sequencing, which must stay deterministic.
+	for _, idx := range sortedKeys(p.inFlight) {
+		d := p.inFlight[idx]
+		d.flow.Cancel()
+		d.src.uploads--
+		d.src.uploading[idx]--
+		delete(p.inFlight, idx)
+	}
+	// Abort uploads served by this peer: every other leecher loses any
+	// in-flight download sourced here and will re-request elsewhere.
+	for _, q := range s.peers[1:] {
+		if q == p || q.departed {
+			continue
+		}
+		for _, idx := range sortedKeys(q.inFlight) {
+			d := q.inFlight[idx]
+			if d.src == p {
+				d.flow.Cancel()
+				delete(q.inFlight, idx)
+				p.uploads--
+				p.uploading[idx]--
+			}
+		}
+	}
+	s.fillAll()
+}
+
+// fillAll re-runs the scheduling decision for every active leecher, in peer
+// order for determinism.
+func (s *swarm) fillAll() {
+	for _, p := range s.peers[1:] {
+		if !p.departed {
+			s.fill(p)
+		}
+	}
+}
+
+// collect snapshots the final metrics. Playback can outlive the last network
+// event (buffer draining), so metrics are taken far enough in the future for
+// every finished download to have played out.
+func (s *swarm) collect() *Result {
+	end := s.eng.Now()
+	var clip time.Duration
+	for _, sg := range s.segs {
+		clip += sg.Duration
+	}
+	horizon := end + clip + time.Second
+	res := &Result{EndTime: end}
+	for _, p := range s.peers[1:] {
+		m := p.player.Metrics(horizon)
+		res.Peers = append(res.Peers, PeerResult{Peer: p.id, Departed: p.departed, Metrics: m})
+		if p.departed {
+			res.Departed++
+			continue
+		}
+		res.Samples = append(res.Samples, metrics.PlaybackSample{
+			Peer:       p.id,
+			Startup:    m.StartupTime,
+			Stalls:     m.Stalls,
+			TotalStall: m.TotalStall,
+			Finished:   m.State == player.StateFinished,
+		})
+	}
+	return res
+}

@@ -1,0 +1,40 @@
+package splicer
+
+import (
+	"fmt"
+
+	"p2psplice/internal/media"
+)
+
+// GOPSplicer emits one segment per closed GOP. This is the paper's
+// zero-overhead technique: no frames are re-encoded, but segment sizes
+// inherit the (heavy-tailed) GOP duration distribution, so a stationary
+// scene can yield a very large segment.
+type GOPSplicer struct{}
+
+var _ Splicer = GOPSplicer{}
+
+// Name implements Splicer.
+func (GOPSplicer) Name() string { return "gop" }
+
+// Kind implements Splicer.
+func (GOPSplicer) Kind() Kind { return KindGOP }
+
+// Splice implements Splicer.
+func (GOPSplicer) Splice(v *media.Video) ([]Segment, error) {
+	if v == nil || len(v.GOPs) == 0 {
+		return nil, fmt.Errorf("splicer: gop: empty video")
+	}
+	segs := make([]Segment, 0, len(v.GOPs))
+	for i, g := range v.GOPs {
+		frames := make([]media.Frame, len(g.Frames))
+		copy(frames, g.Frames)
+		segs = append(segs, Segment{
+			Index:       i,
+			Start:       g.Start(),
+			Frames:      frames,
+			SourceBytes: g.Bytes(),
+		})
+	}
+	return segs, nil
+}

@@ -1,0 +1,26 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadJSON checks the spec parser never panics and never returns an
+// invalid spec without error.
+func FuzzReadJSON(f *testing.F) {
+	sp := Star("s", 3, 128, 475*time.Millisecond, 5)
+	var buf bytes.Buffer
+	if err := sp.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte("]["))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadJSON(bytes.NewReader(data))
+		if err == nil && s.Validate() != nil {
+			t.Fatal("ReadJSON returned invalid spec without error")
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package tracker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/wire"
+)
+
+// Client talks to a tracker over HTTP.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the tracker at base (e.g.
+// "http://127.0.0.1:7070"). httpClient may be nil for a sane default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxManifestBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("tracker: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("tracker: %s %s: %s: %s",
+			req.Method, req.URL.Path, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// Publish uploads a manifest and returns the swarm's info hash.
+func (c *Client) Publish(m *container.Manifest) (wire.InfoHash, error) {
+	var ih wire.InfoHash
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return ih, fmt.Errorf("tracker: encode manifest: %w", err)
+	}
+	raw := buf.Bytes()
+	req, err := http.NewRequest(http.MethodPost, c.base+"/publish", bytes.NewReader(raw))
+	if err != nil {
+		return ih, fmt.Errorf("tracker: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	body, err := c.do(req)
+	if err != nil {
+		return ih, err
+	}
+	var out struct {
+		InfoHash string `json:"info_hash"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return ih, fmt.Errorf("tracker: parse publish response: %w", err)
+	}
+	got, err := wire.ParseInfoHash(out.InfoHash)
+	if err != nil {
+		return ih, err
+	}
+	if want := InfoHashFor(raw); got != want {
+		return ih, fmt.Errorf("tracker: info hash mismatch: got %s want %s", got, want)
+	}
+	return got, nil
+}
+
+// Manifest fetches and validates the swarm's manifest.
+func (c *Client) Manifest(ih wire.InfoHash) (*container.Manifest, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/manifest?info_hash="+ih.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: build request: %w", err)
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the content actually matches the requested swarm identity
+	// before trusting it.
+	if got := InfoHashFor(body); got != ih {
+		return nil, fmt.Errorf("tracker: manifest hash %s does not match swarm %s", got, ih)
+	}
+	return container.ReadManifest(bytes.NewReader(body))
+}
+
+// Announce registers this peer and returns the other swarm members.
+func (c *Client) Announce(ih wire.InfoHash, peerID wire.PeerID, addr string, seeder bool) ([]PeerInfo, error) {
+	q := url.Values{}
+	q.Set("info_hash", ih.String())
+	q.Set("peer_id", peerID.String())
+	q.Set("addr", addr)
+	if seeder {
+		q.Set("seeder", "1")
+	}
+	req, err := http.NewRequest(http.MethodGet, c.base+"/announce?"+q.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: build request: %w", err)
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp AnnounceResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("tracker: parse announce response: %w", err)
+	}
+	return resp.Peers, nil
+}
+
+// Leave deregisters this peer.
+func (c *Client) Leave(ih wire.InfoHash, peerID wire.PeerID) error {
+	q := url.Values{}
+	q.Set("info_hash", ih.String())
+	q.Set("peer_id", peerID.String())
+	req, err := http.NewRequest(http.MethodPost, c.base+"/leave?"+q.Encode(), nil)
+	if err != nil {
+		return fmt.Errorf("tracker: build request: %w", err)
+	}
+	_, err = c.do(req)
+	return err
+}

@@ -1,0 +1,245 @@
+package tracker
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/media"
+	"p2psplice/internal/splicer"
+	"p2psplice/internal/wire"
+)
+
+func testManifest(t *testing.T) *container.Manifest {
+	t.Helper()
+	v, err := media.Synthesize(media.DefaultEncoderConfig(), 10*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := splicer.DurationSplicer{Target: 2 * time.Second}.Splice(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := container.BuildManifest(container.ClipInfo{
+		Duration: v.Duration(), BytesPerSecond: v.Config.BytesPerSecond, Seed: v.Seed,
+	}, "2s", segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestTracker(t *testing.T, opts ...Option) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(opts...).Handler())
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL, srv.Client())
+}
+
+func mustPeerID(t *testing.T) wire.PeerID {
+	t.Helper()
+	id, err := wire.NewPeerID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestPublishManifestRoundTrip(t *testing.T) {
+	_, c := newTestTracker(t)
+	m := testManifest(t)
+	ih, err := c.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Manifest(ih)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Splicing != m.Splicing || len(got.Segments) != len(m.Segments) {
+		t.Error("manifest round-trip mismatch")
+	}
+	// Publishing twice is idempotent.
+	ih2, err := c.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih2 != ih {
+		t.Errorf("republish changed info hash: %s vs %s", ih2, ih)
+	}
+}
+
+func TestAnnounceDiscoversPeers(t *testing.T) {
+	_, c := newTestTracker(t)
+	ih, err := c.Publish(testManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seederID, leecherID := mustPeerID(t), mustPeerID(t)
+
+	peers, err := c.Announce(ih, seederID, "127.0.0.1:9001", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 0 {
+		t.Errorf("first announce should see no peers, got %d", len(peers))
+	}
+	peers, err = c.Announce(ih, leecherID, "127.0.0.1:9002", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || peers[0].Addr != "127.0.0.1:9001" || !peers[0].Seeder {
+		t.Errorf("leecher should see the seeder, got %+v", peers)
+	}
+	// The seeder now sees the leecher and not itself.
+	peers, err = c.Announce(ih, seederID, "127.0.0.1:9001", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || peers[0].Seeder {
+		t.Errorf("seeder should see only the leecher, got %+v", peers)
+	}
+}
+
+func TestLeaveRemovesPeer(t *testing.T) {
+	_, c := newTestTracker(t)
+	ih, err := c.Publish(testManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mustPeerID(t), mustPeerID(t)
+	if _, err := c.Announce(ih, a, "127.0.0.1:9001", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(ih, a); err != nil {
+		t.Fatal(err)
+	}
+	peers, err := c.Announce(ih, b, "127.0.0.1:9002", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 0 {
+		t.Errorf("departed peer still listed: %+v", peers)
+	}
+}
+
+func TestStalePeersPruned(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	_, c := newTestTracker(t, WithPeerTTL(time.Minute), WithClock(clock))
+	ih, err := c.Publish(testManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, fresh := mustPeerID(t), mustPeerID(t)
+	if _, err := c.Announce(ih, stale, "127.0.0.1:9001", false); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	peers, err := c.Announce(ih, fresh, "127.0.0.1:9002", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 0 {
+		t.Errorf("stale peer still listed: %+v", peers)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv, c := newTestTracker(t)
+	m := testManifest(t)
+	ih, err := c.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	id := mustPeerID(t)
+	cases := map[string]int{
+		"/manifest?info_hash=zz":                                                                    http.StatusBadRequest,
+		"/manifest?info_hash=" + strings.Repeat("ab", 32):                                           http.StatusNotFound,
+		"/announce?info_hash=" + ih.String() + "&peer_id=short&addr=a:1":                            http.StatusBadRequest,
+		"/announce?info_hash=" + ih.String() + "&peer_id=" + id.String():                            http.StatusBadRequest, // missing addr
+		"/announce?info_hash=" + strings.Repeat("ab", 32) + "&peer_id=" + id.String() + "&addr=a:1": http.StatusNotFound,
+	}
+	for path, want := range cases {
+		if got := get(path); got != want {
+			t.Errorf("GET %s = %d, want %d", path, got, want)
+		}
+	}
+	// Publish garbage.
+	resp, err := srv.Client().Post(srv.URL+"/publish", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("publishing garbage: %d, want 400", resp.StatusCode)
+	}
+	// Publish an invalid (but parseable) manifest.
+	resp, err = srv.Client().Post(srv.URL+"/publish", "application/json",
+		strings.NewReader(`{"version":1,"video":{"duration_ns":0,"bytes_per_second":0,"seed":0},"splicing":"x","segments":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("publishing invalid manifest: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSwarmsEndpoint(t *testing.T) {
+	srv, c := newTestTracker(t)
+	if _, err := c.Publish(testManifest(t)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/swarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /swarms = %d", resp.StatusCode)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	if _, err := c.Publish(testManifest(t)); err == nil {
+		t.Error("want error against dead server")
+	}
+	var ih wire.InfoHash
+	if _, err := c.Manifest(ih); err == nil {
+		t.Error("want error against dead server")
+	}
+	if _, err := c.Announce(ih, wire.PeerID{}, "a:1", false); err == nil {
+		t.Error("want error against dead server")
+	}
+	if err := c.Leave(ih, wire.PeerID{}); err == nil {
+		t.Error("want error against dead server")
+	}
+}
+
+func TestManifestHashVerification(t *testing.T) {
+	// A tracker returning a manifest that doesn't hash to the requested
+	// info hash must be rejected by the client.
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"version":1}`))
+	}))
+	defer evil.Close()
+	c := NewClient(evil.URL, evil.Client())
+	var ih wire.InfoHash
+	if _, err := c.Manifest(ih); err == nil {
+		t.Error("want hash-mismatch error")
+	}
+}

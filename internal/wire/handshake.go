@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Sizes of the fixed handshake fields.
+const (
+	InfoHashLen = 32
+	PeerIDLen   = 20
+)
+
+// InfoHash identifies a swarm: the SHA-256 of the published manifest JSON.
+type InfoHash [InfoHashLen]byte
+
+// String returns the hex form.
+func (h InfoHash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseInfoHash decodes a hex info hash.
+func ParseInfoHash(s string) (InfoHash, error) {
+	var h InfoHash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != InfoHashLen {
+		return h, fmt.Errorf("wire: bad info hash %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// PeerID identifies a peer instance.
+type PeerID [PeerIDLen]byte
+
+// String returns the hex form.
+func (p PeerID) String() string { return hex.EncodeToString(p[:]) }
+
+// NewPeerID generates a random peer ID.
+func NewPeerID() (PeerID, error) {
+	var id PeerID
+	if _, err := rand.Read(id[:]); err != nil {
+		return id, fmt.Errorf("wire: generate peer id: %w", err)
+	}
+	return id, nil
+}
+
+// Handshake is the connection preamble both sides exchange.
+type Handshake struct {
+	InfoHash InfoHash
+	PeerID   PeerID
+}
+
+// handshakeLen is magic-length byte + magic + infohash + peerid.
+var handshakeLen = 1 + len(ProtocolMagic) + InfoHashLen + PeerIDLen
+
+// WriteHandshake sends h on w.
+func WriteHandshake(w io.Writer, h Handshake) error {
+	buf := make([]byte, handshakeLen)
+	buf[0] = byte(len(ProtocolMagic))
+	copy(buf[1:], ProtocolMagic)
+	copy(buf[1+len(ProtocolMagic):], h.InfoHash[:])
+	copy(buf[1+len(ProtocolMagic)+InfoHashLen:], h.PeerID[:])
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write handshake: %w", err)
+	}
+	return nil
+}
+
+// ReadHandshake reads and validates the peer's preamble.
+func ReadHandshake(r io.Reader) (Handshake, error) {
+	var h Handshake
+	buf := make([]byte, handshakeLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return h, fmt.Errorf("wire: read handshake: %w", err)
+	}
+	if int(buf[0]) != len(ProtocolMagic) || !bytes.Equal(buf[1:1+len(ProtocolMagic)], []byte(ProtocolMagic)) {
+		return h, fmt.Errorf("wire: not a %s peer", ProtocolMagic)
+	}
+	copy(h.InfoHash[:], buf[1+len(ProtocolMagic):])
+	copy(h.PeerID[:], buf[1+len(ProtocolMagic)+InfoHashLen:])
+	return h, nil
+}
+
+// BlockCount returns how many blocks of blockLen cover size bytes.
+func BlockCount(size int64, blockLen int) int {
+	if size <= 0 || blockLen <= 0 {
+		return 0
+	}
+	return int((size + int64(blockLen) - 1) / int64(blockLen))
+}
+
+// EncodeBitfield packs have-flags into the wire bitfield (MSB-first, like
+// BitTorrent).
+func EncodeBitfield(have []bool) []byte {
+	if len(have) == 0 {
+		return []byte{0}
+	}
+	out := make([]byte, (len(have)+7)/8)
+	for i, h := range have {
+		if h {
+			out[i/8] |= 0x80 >> (i % 8)
+		}
+	}
+	return out
+}
+
+// DecodeBitfield unpacks a wire bitfield into n have-flags. Trailing spare
+// bits must be zero.
+func DecodeBitfield(bf []byte, n int) ([]bool, error) {
+	if n < 0 || len(bf) != (max(n, 1)+7)/8 {
+		return nil, fmt.Errorf("wire: bitfield of %d bytes for %d segments", len(bf), n)
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = bf[i/8]&(0x80>>(i%8)) != 0
+	}
+	for i := n; i < len(bf)*8; i++ {
+		if bf[i/8]&(0x80>>(i%8)) != 0 {
+			return nil, fmt.Errorf("wire: bitfield has spare bit %d set", i)
+		}
+	}
+	return out, nil
+}

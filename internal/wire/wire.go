@@ -1,0 +1,177 @@
+// Package wire implements the BitTorrent-like peer messaging protocol the
+// paper's application uses over TCP (Java sockets there, net.Conn here).
+//
+// Framing: a fixed handshake, then length-prefixed messages
+//
+//	uint32 length | uint8 type | payload
+//
+// Segments (the splicing unit) are transferred in 16 KiB blocks via
+// Request/Piece, exactly like BitTorrent pieces, so a receiving peer can
+// serve a segment's early blocks while still fetching its tail.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolMagic identifies the protocol in the handshake.
+const ProtocolMagic = "P2PSPLICE/1"
+
+// Limits protecting decoders from hostile input.
+const (
+	// MaxBlockLen bounds a Piece payload (and a Request length): 128 KiB.
+	MaxBlockLen = 128 << 10
+	// MaxBitfieldLen bounds a Bitfield payload (supports 2^23 segments).
+	MaxBitfieldLen = 1 << 20
+	// DefaultBlockLen is the standard transfer block: 16 KiB.
+	DefaultBlockLen = 16 << 10
+)
+
+// MessageType identifies a wire message.
+type MessageType uint8
+
+// Message types.
+const (
+	MsgChoke MessageType = iota
+	MsgUnchoke
+	MsgInterested
+	MsgNotInterested
+	MsgHave
+	MsgBitfield
+	MsgRequest
+	MsgPiece
+	MsgCancel
+	MsgKeepAlive
+)
+
+// String returns the message type name.
+func (t MessageType) String() string {
+	names := [...]string{"choke", "unchoke", "interested", "not-interested",
+		"have", "bitfield", "request", "piece", "cancel", "keep-alive"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MessageType(%d)", uint8(t))
+}
+
+// Message is one decoded wire message. Fields are populated according to
+// Type: Have uses Index; Request/Cancel use Index/Offset/Length; Piece uses
+// Index/Offset/Data; Bitfield uses Bitfield.
+type Message struct {
+	Type     MessageType
+	Index    uint32
+	Offset   uint32
+	Length   uint32
+	Bitfield []byte
+	Data     []byte
+}
+
+// payloadLen returns the encoded payload size for m.
+func (m *Message) payloadLen() (int, error) {
+	switch m.Type {
+	case MsgChoke, MsgUnchoke, MsgInterested, MsgNotInterested, MsgKeepAlive:
+		return 0, nil
+	case MsgHave:
+		return 4, nil
+	case MsgRequest, MsgCancel:
+		return 12, nil
+	case MsgPiece:
+		if len(m.Data) == 0 || len(m.Data) > MaxBlockLen {
+			return 0, fmt.Errorf("wire: piece data %d bytes outside (0, %d]", len(m.Data), MaxBlockLen)
+		}
+		return 8 + len(m.Data), nil
+	case MsgBitfield:
+		if len(m.Bitfield) == 0 || len(m.Bitfield) > MaxBitfieldLen {
+			return 0, fmt.Errorf("wire: bitfield %d bytes outside (0, %d]", len(m.Bitfield), MaxBitfieldLen)
+		}
+		return len(m.Bitfield), nil
+	default:
+		return 0, fmt.Errorf("wire: unknown message type %d", m.Type)
+	}
+}
+
+// Write encodes m to w.
+func Write(w io.Writer, m *Message) error {
+	plen, err := m.payloadLen()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 5+plen)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(1+plen))
+	buf[4] = byte(m.Type)
+	p := buf[5:]
+	switch m.Type {
+	case MsgHave:
+		binary.BigEndian.PutUint32(p, m.Index)
+	case MsgRequest, MsgCancel:
+		binary.BigEndian.PutUint32(p[0:4], m.Index)
+		binary.BigEndian.PutUint32(p[4:8], m.Offset)
+		binary.BigEndian.PutUint32(p[8:12], m.Length)
+	case MsgPiece:
+		binary.BigEndian.PutUint32(p[0:4], m.Index)
+		binary.BigEndian.PutUint32(p[4:8], m.Offset)
+		copy(p[8:], m.Data)
+	case MsgBitfield:
+		copy(p, m.Bitfield)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Read decodes one message from r, enforcing the payload limits.
+func Read(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("wire: read length: %w", err)
+	}
+	length := binary.BigEndian.Uint32(lenBuf[:])
+	if length == 0 || length > 9+MaxBlockLen && length > 1+MaxBitfieldLen {
+		return nil, fmt.Errorf("wire: message length %d out of range", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	m := &Message{Type: MessageType(body[0])}
+	p := body[1:]
+	switch m.Type {
+	case MsgChoke, MsgUnchoke, MsgInterested, MsgNotInterested, MsgKeepAlive:
+		if len(p) != 0 {
+			return nil, fmt.Errorf("wire: %s with %d-byte payload", m.Type, len(p))
+		}
+	case MsgHave:
+		if len(p) != 4 {
+			return nil, fmt.Errorf("wire: have with %d-byte payload", len(p))
+		}
+		m.Index = binary.BigEndian.Uint32(p)
+	case MsgRequest, MsgCancel:
+		if len(p) != 12 {
+			return nil, fmt.Errorf("wire: %s with %d-byte payload", m.Type, len(p))
+		}
+		m.Index = binary.BigEndian.Uint32(p[0:4])
+		m.Offset = binary.BigEndian.Uint32(p[4:8])
+		m.Length = binary.BigEndian.Uint32(p[8:12])
+		if m.Length == 0 || m.Length > MaxBlockLen {
+			return nil, fmt.Errorf("wire: %s length %d out of range", m.Type, m.Length)
+		}
+	case MsgPiece:
+		if len(p) <= 8 || len(p) > 8+MaxBlockLen {
+			return nil, fmt.Errorf("wire: piece with %d-byte payload", len(p))
+		}
+		m.Index = binary.BigEndian.Uint32(p[0:4])
+		m.Offset = binary.BigEndian.Uint32(p[4:8])
+		m.Data = p[8:]
+	case MsgBitfield:
+		if len(p) == 0 || len(p) > MaxBitfieldLen {
+			return nil, fmt.Errorf("wire: bitfield with %d-byte payload", len(p))
+		}
+		m.Bitfield = p
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", body[0])
+	}
+	return m, nil
+}
