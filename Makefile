@@ -1,0 +1,32 @@
+GO       ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race vet lint fuzz-smoke
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# splicelint: the repo's own static-analysis suite (internal/analysis).
+# Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/splicelint ./...
+
+# Short fuzz pass over every fuzz target; go's fuzzer accepts one -fuzz
+# pattern per package invocation, so targets run sequentially.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzReadHandshake$$' -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/container
+	$(GO) test -run='^$$' -fuzz='^FuzzReadManifest$$' -fuzztime=$(FUZZTIME) ./internal/container
+	$(GO) test -run='^$$' -fuzz='^FuzzReadJSON$$' -fuzztime=$(FUZZTIME) ./internal/topology

@@ -91,11 +91,16 @@ func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
 		tick := time.NewTicker(2 * time.Second)
 		defer tick.Stop()
 		go func() {
-			for range tick.C {
-				st := node.Stats()
-				pm := node.Playback()
-				fmt.Printf("  %3d/%3d segments, %8d bytes, state=%s pos=%v\n",
-					st.SegmentsHeld, len(m.Segments), st.DownloadedBytes, pm.State, pm.Position.Round(time.Second))
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					st := node.Stats()
+					pm := node.Playback()
+					fmt.Printf("  %3d/%3d segments, %8d bytes, state=%s pos=%v\n",
+						st.SegmentsHeld, len(m.Segments), st.DownloadedBytes, pm.State, pm.Position.Round(time.Second))
+				}
 			}
 		}()
 	}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"p2psplice/internal/analysis"
+)
+
+// runLint invokes the driver's run function against a fixture package
+// and returns (exit code, stdout, stderr).
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(append([]string{"-mod", "../.."}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestDirtyPackageNonZeroExit(t *testing.T) {
+	code, out, errOut := runLint(t, "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q stderr=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "[golifecycle]") || !strings.Contains(out, "dirty.go") {
+		t.Errorf("human output missing finding: %q", out)
+	}
+	if !strings.Contains(out, "1 finding(s)") {
+		t.Errorf("human output missing summary: %q", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-json", "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "golifecycle" || f.Line == 0 || !strings.HasSuffix(f.File, "dirty.go") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestJSONOutputCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := runLint(t, "-json", "testdata/suppressed")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; out=%q", code, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean JSON output = %q, want []", out)
+	}
+}
+
+func TestSuppressionComment(t *testing.T) {
+	code, out, _ := runLint(t, "testdata/suppressed")
+	if code != 0 {
+		t.Fatalf("justified //lint:ignore should silence the finding; exit=%d out=%q", code, out)
+	}
+}
+
+func TestSuppressionWithoutReason(t *testing.T) {
+	code, out, _ := runLint(t, "testdata/badsup")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; out=%q", code, out)
+	}
+	if !strings.Contains(out, "[golifecycle]") {
+		t.Errorf("reason-less suppression must not silence the finding: %q", out)
+	}
+	if !strings.Contains(out, "[suppression]") {
+		t.Errorf("reason-less suppression should itself be reported: %q", out)
+	}
+}
+
+func TestDisableAnalyzer(t *testing.T) {
+	code, out, _ := runLint(t, "-disable", "golifecycle", "testdata/dirty")
+	if code != 0 {
+		t.Fatalf("with golifecycle disabled the fixture is clean; exit=%d out=%q", code, out)
+	}
+}
+
+func TestEnableSubset(t *testing.T) {
+	code, _, _ := runLint(t, "-enable", "wireerr,floatcmp", "testdata/dirty")
+	if code != 0 {
+		t.Fatalf("enabling only unrelated analyzers should pass; exit=%d", code)
+	}
+	code, out, _ := runLint(t, "-enable", "golifecycle", "testdata/dirty")
+	if code != 1 || !strings.Contains(out, "[golifecycle]") {
+		t.Fatalf("enabling golifecycle should reproduce the finding; exit=%d out=%q", code, out)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	code, _, errOut := runLint(t, "-enable", "nosuch", "testdata/dirty")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer error", errOut)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing %q: %q", a.Name, out)
+		}
+	}
+}

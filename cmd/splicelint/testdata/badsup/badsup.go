@@ -1,0 +1,8 @@
+// Driver-test fixture: a //lint:ignore comment with no reason neither
+// silences the finding nor passes itself.
+package badsup
+
+func spawn(work func()) {
+	//lint:ignore golifecycle
+	go work()
+}

@@ -1,0 +1,6 @@
+// Driver-test fixture: one unsuppressed golifecycle finding.
+package dirty
+
+func spawn(work func()) {
+	go work()
+}

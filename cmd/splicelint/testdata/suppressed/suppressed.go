@@ -1,0 +1,8 @@
+// Driver-test fixture: the same finding, silenced with a justified
+// //lint:ignore comment, so splicelint exits 0.
+package suppressed
+
+func spawn(work func()) {
+	//lint:ignore golifecycle driver-test fixture exercising suppression
+	go work()
+}

@@ -12,6 +12,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"p2psplice"
@@ -45,7 +46,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = http.Serve(ln, origin.Handler()) }()
+	srv := &http.Server{Handler: origin.Handler()}
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		_ = srv.Serve(ln) // returns http.ErrServerClosed after Close
+	}()
+	defer func() {
+		_ = srv.Close()
+		srvWG.Wait()
+	}()
 	fmt.Println("CDN origin on", ln.Addr(), "with variants", origin.VariantNames())
 
 	client, err := p2psplice.NewCDNClient("http://"+ln.Addr().String(), nil)

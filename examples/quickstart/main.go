@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"p2psplice"
@@ -32,7 +33,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = http.Serve(ln, p2psplice.NewTracker().Handler()) }()
+	srv := &http.Server{Handler: p2psplice.NewTracker().Handler()}
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		_ = srv.Serve(ln) // returns http.ErrServerClosed after Close
+	}()
+	defer func() {
+		_ = srv.Close()
+		srvWG.Wait()
+	}()
 	trk := p2psplice.NewTrackerClient("http://"+ln.Addr().String(), nil)
 	fmt.Println("tracker on", ln.Addr())
 

@@ -1,0 +1,211 @@
+// Package analysis is a stdlib-only static-analysis framework for this
+// module, plus the splicelint analyzers that enforce its correctness
+// invariants: simulation determinism, mutex guard discipline, goroutine
+// lifecycle hygiene, wire-level error handling, and float comparison
+// safety. It deliberately uses only go/ast, go/parser, go/token and
+// go/types so the module keeps zero external dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts. Nil means every package.
+	Match func(pkgPath string) bool
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer, mirroring golang.org/x/tools/go/analysis.Pass in miniature.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported problem.
+type Finding struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String formats the finding in the human-readable driver format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run applies each analyzer whose Match accepts the package, filters
+// suppressed findings, and returns the rest sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			var found []Finding
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				findings:  &found,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, f := range found {
+				if sup.suppressed(f) {
+					continue
+				}
+				f.File = f.Pos.Filename
+				f.Line = f.Pos.Line
+				f.Col = f.Pos.Column
+				all = append(all, f)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// suppressions maps file name -> line -> analyzer names suppressed on
+// that line (the comment's own line and the line below it).
+type suppressions map[string]map[int][]string
+
+// collectSuppressions parses //lint:ignore comments. The format is
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// and the comment silences the named analyzers (or every analyzer, for
+// the name "all") on its own line and on the line directly below, so it
+// can sit either at the end of the offending line or just above it. A
+// missing reason makes the suppression itself a finding, reported by
+// the driver via BadSuppressions.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	forEachIgnore(fset, files, func(pos token.Position, names []string, reason string) {
+		if reason == "" {
+			return // malformed: never silences anything
+		}
+		byLine := sup[pos.Filename]
+		if byLine == nil {
+			byLine = map[int][]string{}
+			sup[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], names...)
+		byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+	})
+	return sup
+}
+
+func (s suppressions) suppressed(f Finding) bool {
+	for _, name := range s[f.Pos.Filename][f.Pos.Line] {
+		if name == "all" || name == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// BadSuppressions reports //lint:ignore comments that lack a reason;
+// an unexplained suppression is itself a finding so that silencing an
+// analyzer always leaves a justification in the code.
+func BadSuppressions(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		forEachIgnore(pkg.Fset, pkg.Files, func(pos token.Position, names []string, reason string) {
+			if reason != "" {
+				return
+			}
+			out = append(out, Finding{
+				Pos:      pos,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: "suppression",
+				Message:  "//lint:ignore comment needs a reason after the analyzer name(s)",
+			})
+		})
+	}
+	return out
+}
+
+// forEachIgnore invokes fn for every //lint:ignore comment.
+func forEachIgnore(fset *token.FileSet, files []*ast.File, fn func(pos token.Position, names []string, reason string)) {
+	const prefix = "//lint:ignore"
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+				nameField, reason, _ := strings.Cut(rest, " ")
+				if nameField == "" {
+					continue
+				}
+				names := strings.Split(nameField, ",")
+				fn(fset.Position(c.Pos()), names, strings.TrimSpace(reason))
+			}
+		}
+	}
+}
+
+// matchPaths returns a Match function accepting packages whose import
+// path equals, or is a sub-package of, one of the given paths.
+func matchPaths(paths ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}

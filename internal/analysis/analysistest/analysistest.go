@@ -1,0 +1,173 @@
+// Package analysistest is a golden-fixture harness for splicelint
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest
+// but built only on the stdlib. Fixture files live under a testdata
+// directory and carry expectations as trailing comments:
+//
+//	time.Now() // want "reads the wall clock"
+//
+// Each `// want "rx"` comment demands a finding on its line whose
+// message matches the regexp; findings without a matching want, and
+// wants without a matching finding, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"p2psplice/internal/analysis"
+)
+
+// The stdlib source importer re-type-checks the standard library from
+// source; share one across all fixture runs in the process.
+var (
+	stdOnce sync.Once
+	stdFset *token.FileSet
+	stdImp  types.Importer
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	stdOnce.Do(func() {
+		stdFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(stdFset, "source", nil)
+	})
+	return stdFset, stdImp
+}
+
+// Run type-checks the fixture package in dir as if its import path were
+// asPath (so analyzers with path-scoped Match fire), runs the analyzer,
+// and compares findings against the // want comments. It returns the
+// surviving findings so callers can make extra assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, asPath string) []analysis.Finding {
+	t.Helper()
+	if a.Match != nil && !a.Match(asPath) {
+		t.Fatalf("analyzer %s does not match package path %s; fixture would be vacuous", a.Name, asPath)
+	}
+	pkg, err := loadFixture(dir, asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, pkg, findings)
+	return findings
+}
+
+// RunNoMatch asserts the analyzer reports nothing for the fixture when
+// loaded under a package path outside the analyzer's scope — the
+// scoping half of the contract.
+func RunNoMatch(t *testing.T, dir string, a *analysis.Analyzer, asPath string) {
+	t.Helper()
+	if a.Match == nil {
+		t.Fatalf("analyzer %s has no Match; RunNoMatch is meaningless", a.Name)
+	}
+	if a.Match(asPath) {
+		t.Fatalf("analyzer %s matches %s; pick an out-of-scope path", a.Name, asPath)
+	}
+	pkg, err := loadFixture(dir, asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("analyzer %s reported outside its scope (%s): %s", a.Name, asPath, f)
+	}
+}
+
+// loadFixture parses and type-checks every .go file in dir as one
+// package with import path asPath.
+func loadFixture(dir, asPath string) (*analysis.Package, error) {
+	fset, imp := sharedImporter()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-check %s: %w", dir, err)
+	}
+	return &analysis.Package{Path: asPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// checkWants matches findings against // want comments line by line.
+func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					rx, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], rx)
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		k := key{f.File, f.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("%s:%d: want %q: no matching finding", k.file, k.line, rx)
+		}
+	}
+}

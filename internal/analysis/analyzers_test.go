@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"p2psplice/internal/analysis"
+	"p2psplice/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised against a golden fixture under testdata/.
+// The want-comments make these tests fail if the analyzer is disabled
+// or stops reporting, and the scope tests pin the package matching.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/determinism", analysis.Determinism, "p2psplice/internal/sim")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	analysistest.RunNoMatch(t, "testdata/determinism", analysis.Determinism, "p2psplice/internal/peer")
+}
+
+func TestMutexguard(t *testing.T) {
+	analysistest.Run(t, "testdata/mutexguard", analysis.Mutexguard, "p2psplice/internal/anywhere")
+}
+
+func TestGolifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata/golifecycle", analysis.Golifecycle, "p2psplice/internal/anywhere")
+}
+
+func TestWireerr(t *testing.T) {
+	analysistest.Run(t, "testdata/wireerr", analysis.Wireerr, "p2psplice/internal/wire")
+}
+
+func TestWireerrOutOfScope(t *testing.T) {
+	analysistest.RunNoMatch(t, "testdata/wireerr", analysis.Wireerr, "p2psplice/internal/sim")
+}
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/floatcmp", analysis.Floatcmp, "p2psplice/internal/metrics")
+}
+
+func TestFloatcmpOutOfScope(t *testing.T) {
+	analysistest.RunNoMatch(t, "testdata/floatcmp", analysis.Floatcmp, "p2psplice/internal/tracker")
+}
+
+func TestRegistry(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing Name, Doc, or Run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if analysis.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if analysis.ByName("nosuch") != nil {
+		t.Error("ByName of unknown name should be nil")
+	}
+}

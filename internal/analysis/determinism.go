@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterministicPackages lists the packages that must be bit-for-bit
+// deterministic: the discrete-event simulator and everything on the
+// simulated data path. The paper's GENI testbed results had to be
+// averaged over repetitions because the testbed was not deterministic;
+// our substitute claims to do better, so any wall-clock read, global
+// (unseeded) RNG use, or order-sensitive map iteration in these
+// packages silently invalidates the headline stall/startup figures.
+var DeterministicPackages = []string{
+	"p2psplice/internal/sim",
+	"p2psplice/internal/netem",
+	"p2psplice/internal/simpeer",
+	"p2psplice/internal/splicer",
+	"p2psplice/internal/media",
+	"p2psplice/internal/experiment",
+	"p2psplice/internal/metrics",
+}
+
+// Determinism flags, inside the simulation-deterministic packages:
+// wall-clock reads (time.Now, time.Since, time.Until), top-level
+// math/rand functions (the process-global RNG; seeded *rand.Rand
+// methods are fine), and for-range loops over maps that append to a
+// variable declared outside the loop without a sort of that variable
+// later in the same block.
+var Determinism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "forbid wall-clock reads, global RNG, and unsorted map-iteration output in deterministic packages",
+	Match: matchPaths(DeterministicPackages...),
+	Run:   runDeterminism,
+}
+
+// wall-clock functions in package time. time.Since and time.Until call
+// time.Now internally, so they are just as nondeterministic.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// math/rand package-level functions that are allowed because they only
+// construct explicitly seeded generators.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				// handled with block context below
+			}
+			return true
+		})
+		// Map-range loops need the statement list around them to look
+		// for a later sort, so walk blocks rather than single nodes.
+		ast.Inspect(file, func(n ast.Node) bool {
+			body, ok := blockStmts(n)
+			if !ok {
+				return true
+			}
+			for i, st := range body {
+				rng, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkMapRange(pass, rng, body[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgName, ok := selectorPackage(pass, sel)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; inject a clock instead", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "rand.%s uses the process-global RNG in a deterministic package; use a seeded *rand.Rand", sel.Sel.Name)
+		}
+	}
+}
+
+// selectorPackage resolves sel.X to an imported package name, if it is one.
+func selectorPackage(pass *Pass, sel *ast.SelectorExpr) (*types.PkgName, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pn, ok
+}
+
+// checkMapRange flags `for ... := range m` over a map when the body
+// appends to a variable declared outside the loop and no statement
+// after the loop (in the same block) sorts that variable.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	targets := outerAppendTargets(pass, rng)
+	if len(targets) == 0 {
+		return
+	}
+	for _, st := range rest {
+		for obj := range targets {
+			if sortsVariable(pass, st, obj) {
+				delete(targets, obj)
+			}
+		}
+	}
+	for obj := range targets {
+		pass.Reportf(rng.Pos(), "map iteration order feeds %q without a subsequent sort; iteration order is nondeterministic", obj.Name())
+	}
+}
+
+// outerAppendTargets finds variables declared outside the loop that the
+// loop body appends to.
+func outerAppendTargets(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	targets := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "append") || i >= len(as.Lhs) {
+				continue
+			}
+			id := rootIdent(as.Lhs[i])
+			if id == nil {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil || obj.Pos() == token.NoPos {
+				continue
+			}
+			// Declared outside the loop?
+			if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+				targets[obj] = true
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// sortsVariable reports whether stmt calls a sort.* or slices.Sort*
+// function mentioning obj.
+func sortsVariable(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn, ok := selectorPackage(pass, sel)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// rootIdent unwraps x in expressions like x, x[i], x.f to the base
+// identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// blockStmts returns the statement list of block-bearing nodes.
+func blockStmts(n ast.Node) ([]ast.Stmt, bool) {
+	switch v := n.(type) {
+	case *ast.BlockStmt:
+		return v.List, true
+	case *ast.CaseClause:
+		return v.Body, true
+	case *ast.CommClause:
+		return v.Body, true
+	}
+	return nil, false
+}

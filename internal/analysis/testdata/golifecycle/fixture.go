@@ -1,0 +1,56 @@
+// Fixture for the golifecycle analyzer.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func leak(work func()) {
+	go work() // want "not tied"
+}
+
+func leakLit(work func()) {
+	go func() { work() }() // want "not tied"
+}
+
+func wgTied(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func ctxTied(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func doneTied(done chan struct{}, work func()) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+func spawnRun(ctx context.Context) {
+	go run(ctx) // context argument ties the goroutine's lifetime
+}
+
+func suppressed(work func()) {
+	//lint:ignore golifecycle fixture demonstrating an explicit suppression
+	go work()
+}

@@ -1,0 +1,60 @@
+// Fixture for the mutexguard analyzer.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex // guards n and total
+	n     int
+	total int
+
+	state int // guarded by mu
+}
+
+func (c *counter) bad() int {
+	return c.n // want "guarded by \"mu\""
+}
+
+func (c *counter) badState() {
+	c.state++ // want "guarded by \"mu\""
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n + c.total
+}
+
+func (c *counter) addLocked(d int) { // *Locked: caller holds mu
+	c.n += d
+}
+
+type owner struct {
+	mu sync.Mutex
+}
+
+type item struct {
+	parent *owner
+	hits   int // guarded by parent.mu
+}
+
+func (i *item) bump() {
+	i.hits++ // want "guarded by \"mu\""
+}
+
+func (i *item) bumpSafe() {
+	i.parent.mu.Lock()
+	i.hits++
+	i.parent.mu.Unlock()
+}
+
+type stale struct {
+	mu  sync.Mutex // guards gone    // want "unknown field \"gone\""
+	val int
+}
+
+func (s *stale) read() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}

@@ -1,0 +1,48 @@
+// Fixture for the wireerr analyzer, type-checked as if it were package
+// p2psplice/internal/wire.
+package wire
+
+import "io"
+
+func encodeThing() error { return nil }
+
+func sendLoop() error { return nil }
+
+func frobnicate() error { return nil }
+
+func drop() {
+	encodeThing() // want "discarded"
+}
+
+func blankSingle() {
+	_ = encodeThing() // want "assigned to _"
+}
+
+func blankPair(w io.Writer, b []byte) {
+	_, _ = w.Write(b) // want "assigned to _"
+}
+
+func handled(w io.Writer, b []byte) error {
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return encodeThing()
+}
+
+func kept(r io.Reader, b []byte) (int, error) {
+	n, err := r.Read(b)
+	return n, err
+}
+
+func goDrop() {
+	go sendLoop() // want "discarded by go statement"
+}
+
+func nonWireVerb() {
+	frobnicate() // name has no wire verb: out of scope for this analyzer
+}
+
+func suppressed(w io.Writer, b []byte) {
+	//lint:ignore wireerr fixture demonstrating an explicit suppression
+	_, _ = w.Write(b)
+}

@@ -89,6 +89,7 @@ func (o *Origin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /variants", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 		_ = json.NewEncoder(w).Encode(o.VariantNames())
 	})
 	mux.HandleFunc("GET /manifest/{name}", func(w http.ResponseWriter, r *http.Request) {
@@ -98,6 +99,7 @@ func (o *Origin) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 		_ = v.Manifest.WriteJSON(w)
 	})
 	mux.HandleFunc("GET /playlist/{name}", func(w http.ResponseWriter, r *http.Request) {
@@ -107,6 +109,7 @@ func (o *Origin) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+		//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 		_ = v.Manifest.WriteM3U8(w, "/segment/"+v.Name)
 	})
 	mux.HandleFunc("GET /segment/{name}/{index}", func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +124,7 @@ func (o *Origin) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
+		//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 		_, _ = w.Write(v.blobs[idx])
 	})
 	return mux

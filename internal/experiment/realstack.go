@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"p2psplice/internal/container"
@@ -85,8 +86,16 @@ func RealStackRun(cfg RealStackConfig) ([]metrics.PlaybackSample, error) {
 		return nil, fmt.Errorf("experiment: tracker listen: %w", err)
 	}
 	srv := &http.Server{Handler: tracker.NewServer().Handler()}
-	go func() { _ = srv.Serve(ln) }()
-	defer srv.Close()
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		_ = srv.Serve(ln) // returns http.ErrServerClosed after Close
+	}()
+	defer func() {
+		_ = srv.Close()
+		srvWG.Wait()
+	}()
 	trk := tracker.NewClient("http://"+ln.Addr().String(), nil)
 
 	nodeCfg := peer.Config{

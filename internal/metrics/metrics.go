@@ -102,7 +102,9 @@ func RoundedMean(xs []float64) int {
 // FormatSeconds renders a seconds value compactly for tables.
 func FormatSeconds(s float64) string {
 	switch {
-	case s == 0:
+	case math.Abs(s) < 1e-9:
+		// Values this close to zero are rounding residue from float
+		// accumulation; render them as an exact zero.
 		return "0"
 	case s < 10:
 		return fmt.Sprintf("%.1f", s)

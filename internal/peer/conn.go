@@ -15,16 +15,16 @@ type conn struct {
 	id     wire.PeerID
 	raw    net.Conn
 	wmu    sync.Mutex // serializes writes
-	mu     sync.Mutex // guards remoteHave and closed
+	mu     sync.Mutex // guards have and closed
 	have   []bool     // remote's bitfield
 	closed bool
 
-	// Upload-slot state, guarded by node.mu: serving marks an occupied
-	// unchoke slot, waiting marks membership in the choked-waiters queue,
-	// and lastServe drives idle slot release.
-	serving   bool
-	waiting   bool
-	lastServe time.Time
+	// Upload-slot state: serving marks an occupied unchoke slot, waiting
+	// marks membership in the choked-waiters queue, and lastServe drives
+	// idle slot release.
+	serving   bool      // guarded by node.mu
+	waiting   bool      // guarded by node.mu
+	lastServe time.Time // guarded by node.mu
 
 	// choked (guarded by c.mu) records that the REMOTE choked us: it will
 	// not answer requests until it unchokes.

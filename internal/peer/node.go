@@ -106,7 +106,7 @@ type Node struct {
 	ln      net.Listener
 	started time.Time // playback clock origin (leechers)
 
-	mu            sync.Mutex
+	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters and closed
 	conns         map[wire.PeerID]*conn
 	active        map[int]*segDownload // in-flight segment downloads
 	play          *player.Player       // nil for seeders
@@ -224,6 +224,31 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	// Build the player before the Node exists so every post-construction
+	// access to the guarded play field goes through n.mu.
+	var play *player.Player
+	if !seeder {
+		durations := make([]time.Duration, len(m.Segments))
+		for i, s := range m.Segments {
+			durations[i] = s.Duration
+		}
+		play, err = player.New(player.Config{SegmentDurations: durations})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		// Segments recovered from a resumed store count as instantly
+		// downloaded: register them before the playback clock starts.
+		for i := 0; i < store.Segments(); i++ {
+			if store.Have(i) {
+				_ = play.OnSegmentComplete(i, 0) // index verified in range
+			}
+		}
+		if err := play.Start(0); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	n := &Node{
 		cfg:       cfg,
 		trk:       trk,
@@ -235,6 +260,7 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		started:   time.Now(),
 		conns:     make(map[wire.PeerID]*conn),
 		active:    make(map[int]*segDownload),
+		play:      play,
 		est:       est,
 		completeC: make(chan struct{}),
 		ctx:       ctx,
@@ -242,28 +268,6 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 	}
 	if store.Complete() {
 		n.completeOnce.Do(func() { close(n.completeC) })
-	}
-	if !seeder {
-		durations := make([]time.Duration, len(m.Segments))
-		for i, s := range m.Segments {
-			durations[i] = s.Duration
-		}
-		n.play, err = player.New(player.Config{SegmentDurations: durations})
-		if err != nil {
-			cancel()
-			return nil, err
-		}
-		// Segments recovered from a resumed store count as instantly
-		// downloaded: register them before the playback clock starts.
-		for i := 0; i < store.Segments(); i++ {
-			if store.Have(i) {
-				_ = n.play.OnSegmentComplete(i, 0) // index verified in range
-			}
-		}
-		if err := n.play.Start(0); err != nil {
-			cancel()
-			return nil, err
-		}
 	}
 
 	ln, err := net.Listen("tcp", cfg.ListenAddr)

@@ -169,6 +169,7 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 	_, _ = w.Write(sw.manifest)
 }
 
@@ -211,6 +212,7 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(resp.Peers, func(i, j int) bool { return resp.Peers[i].PeerID < resp.Peers[j].PeerID })
 
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
@@ -240,5 +242,6 @@ func (s *Server) handleSwarms(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].InfoHash < out[j].InfoHash })
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 	_ = json.NewEncoder(w).Encode(out)
 }
