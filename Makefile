@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint fuzz-smoke
+.PHONY: all build test race vet lint fuzz-smoke bench-json
 
 all: build vet lint test
 
@@ -21,6 +21,13 @@ vet:
 # Exits non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/splicelint ./...
+
+# bench-json: quick-scale figure regeneration as a machine-readable
+# artifact (the bench trajectory's stable format), plus one pass of the
+# quick figure benches as a smoke check.
+bench-json:
+	$(GO) run ./cmd/experiment -quick -json > experiment-quick.json
+	$(GO) test -run='^$$' -bench='^BenchmarkFig' -benchtime=1x .
 
 # Short fuzz pass over every fuzz target; go's fuzzer accepts one -fuzz
 # pattern per package invocation, so targets run sequentially.

@@ -96,6 +96,37 @@ func BenchmarkFig5DownloadPolicies(b *testing.B) {
 	b.ReportMetric(last.Series("pool-8")[0], "stalls@128kBps(pool-8)")
 }
 
+// BenchmarkFig2StallsSerial is BenchmarkFig2StallsBySplicing pinned to the
+// Workers=1 serial path; the pair measures the worker pool's speedup on
+// multi-core hardware (results are bit-identical either way — see the
+// equivalence tests in internal/experiment).
+func BenchmarkFig2StallsSerial(b *testing.B) {
+	p := benchParams()
+	p.Workers = 1
+	var last *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		res, err := p.Fig2Stalls([]int64{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series("2s")[0], "stalls@128kBps(2s)")
+}
+
+// BenchmarkSegmentsCached measures the memoized Segments path: after the
+// first iteration every call is a cache hit plus one defensive copy.
+func BenchmarkSegmentsCached(b *testing.B) {
+	p := benchParams()
+	sp := splicer.DurationSplicer{Target: 4 * time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Segments(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablation benches ------------------------------------------------------
 
 // ablationRun executes one emulated run with a config modifier and reports

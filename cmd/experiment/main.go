@@ -4,10 +4,12 @@
 // Usage:
 //
 //	experiment [-figure all|2|3|4|5|table] [-quick] [-runs N] [-leechers N]
-//	           [-clip 2m] [-seed N] [-ablation churn|estimator|relay|rarest|cross|varbw]
+//	           [-clip 2m] [-seed N] [-workers N] [-json]
+//	           [-ablation churn|estimator|relay|rarest|cross|varbw]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +36,8 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation instead: churn, estimator, relay, rarest, cross, varbw, hetero, cdn")
 		real     = flag.Bool("real", false, "cross-validate: run one small swarm on BOTH the emulator and real TCP sockets")
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable figure results as JSON on stdout instead of text tables")
 	)
 	flag.Parse()
 
@@ -60,6 +64,9 @@ func main() {
 	}
 	if *seed != 0 {
 		p.BaseSeed = *seed
+	}
+	if *workers != 0 {
+		p.Workers = *workers
 	}
 
 	if *ablation != "" {
@@ -91,13 +98,33 @@ func main() {
 		order = []string{*figure}
 	}
 	start := time.Now()
+	report := jsonReport{
+		Params: jsonParams{
+			Leechers:    p.Leechers,
+			ClipSeconds: p.ClipDuration.Seconds(),
+			Runs:        p.Runs,
+			BaseSeed:    p.BaseSeed,
+			VideoSeed:   p.VideoSeed,
+			Workers:     p.Workers,
+		},
+	}
 	for _, key := range order {
 		res, err := gens[key].run(nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment: %s: %v\n", gens[key].name, err)
 			os.Exit(1)
 		}
-		fmt.Println(res.Figure.Render())
+		if *jsonOut {
+			report.Figures = append(report.Figures, jsonFigure{
+				Key:    key,
+				Title:  res.Figure.Title,
+				XLabel: res.Figure.XLabel,
+				X:      res.Figure.XValues,
+				Series: res.Values,
+			})
+		} else {
+			fmt.Println(res.Figure.Render())
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, key, res); err != nil {
 				fmt.Fprintln(os.Stderr, "experiment:", err)
@@ -105,8 +132,46 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut {
+		report.ElapsedMS = time.Since(start).Milliseconds()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("(%d leechers, %v clip, %d runs/point, elapsed %v)\n",
 		p.Leechers, p.ClipDuration, p.Runs, time.Since(start).Round(time.Millisecond))
+}
+
+// jsonReport is the -json artifact: the machine-readable form of every
+// regenerated figure, stable enough for a bench trajectory to diff.
+type jsonReport struct {
+	Params    jsonParams   `json:"params"`
+	Figures   []jsonFigure `json:"figures"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+}
+
+// jsonParams records the experiment scale that produced the figures.
+type jsonParams struct {
+	Leechers    int     `json:"leechers"`
+	ClipSeconds float64 `json:"clip_seconds"`
+	Runs        int     `json:"runs"`
+	BaseSeed    int64   `json:"base_seed"`
+	VideoSeed   int64   `json:"video_seed"`
+	Workers     int     `json:"workers"`
+}
+
+// jsonFigure is one figure: the x-axis plus the numeric series the text
+// table renders (encoding/json sorts the series map, so output is stable).
+type jsonFigure struct {
+	Key    string               `json:"key"`
+	Title  string               `json:"title"`
+	XLabel string               `json:"xlabel"`
+	X      []string             `json:"x"`
+	Series map[string][]float64 `json:"series"`
 }
 
 // writeCSV saves a figure's data under dir/figure-<key>.csv.

@@ -32,21 +32,28 @@ func (p Params) Fig6AdaptiveSplicing(bandwidths []int64) (*FigureResult, error) 
 	}
 	res := &FigureResult{Values: make(map[string][]float64)}
 
-	// Fixed-duration baselines.
-	for _, target := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
+	// Fixed-duration baselines: one spec each over the full axis.
+	fixed := []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second}
+	specs := make([]sweepSpec, 0, len(fixed)+len(bandwidths))
+	for _, target := range fixed {
 		sp := splicer.DurationSplicer{Target: target}
-		points, err := p.Sweep(sp, core.AdaptivePool{}, bandwidths, nil)
+		segs, err := p.Segments(sp)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sp.Name(), err)
 		}
-		res.Values[sp.Name()] = series(points, combinedBadness)
-		fig.AddSeries(sp.Name(), renderSeries(res.Values[sp.Name()]))
+		specs = append(specs, sweepSpec{
+			name:       sp.Name(),
+			label:      "Figure 6/" + sp.Name(),
+			segs:       segs,
+			policy:     core.AdaptivePool{},
+			bandwidths: bandwidths,
+		})
 	}
 
 	// Adaptive splicing: the segment duration is chosen per bandwidth with
 	// the OptimalDuration algorithm (the smallest duration whose
-	// overhead-inflated demand fits the link).
-	nums := make([]float64, len(bandwidths))
+	// overhead-inflated demand fits the link), so each bandwidth gets its
+	// own splicing — one single-bandwidth spec per sweep point.
 	targets := make([]string, len(bandwidths))
 	v, err := p.Video()
 	if err != nil {
@@ -65,11 +72,27 @@ func (p Params) Fig6AdaptiveSplicing(bandwidths []int64) (*FigureResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		pt, err := p.runPoint(segs, bw, core.AdaptivePool{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		nums[i] = combinedBadness(pt)
+		specs = append(specs, sweepSpec{
+			name:       "adaptive",
+			label:      "Figure 6/adaptive@" + strconv.FormatInt(bw, 10),
+			segs:       segs,
+			policy:     core.AdaptivePool{},
+			bandwidths: []int64{bw},
+		})
+	}
+
+	points, err := p.runSweeps(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fixed {
+		sp := splicer.DurationSplicer{Target: fixed[i]}
+		res.Values[sp.Name()] = series(points[i], combinedBadness)
+		fig.AddSeries(sp.Name(), renderSeries(res.Values[sp.Name()]))
+	}
+	nums := make([]float64, len(bandwidths))
+	for i := range bandwidths {
+		nums[i] = combinedBadness(points[len(fixed)+i][0])
 	}
 	res.Values["adaptive"] = nums
 	fig.AddSeries("adaptive", renderSeries(nums))

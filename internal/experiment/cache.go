@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/media"
+	"p2psplice/internal/simpeer"
+	"p2psplice/internal/splicer"
+)
+
+// The five figures used to re-synthesize and re-splice the same clip for
+// every series of every sweep — Figures 2 and 3 alone splice the identical
+// video eight times. Synthesis and splicing are deterministic functions of
+// (encoder config, clip duration, video seed) and the splicer, so this file
+// memoizes both process-wide. Entries are created under a mutex and filled
+// through sync.Once, so concurrent workers that race on a cold key
+// synthesize exactly once and everyone blocks on the same entry.
+//
+// Cached values are shared: the *media.Video is handed out as-is (splicers
+// and the swarm treat videos as read-only), while segment-meta slices are
+// copied on every lookup so no caller can reach another's backing array.
+
+// videoKey identifies a synthesized clip. media.EncoderConfig is a flat
+// comparable struct, so the key is usable directly as a map key.
+type videoKey struct {
+	enc  media.EncoderConfig
+	dur  time.Duration
+	seed int64
+}
+
+// segKey identifies a spliced segment list: the clip plus the splicer's
+// identity (type and configuration, e.g. "splicer.DurationSplicer{Target:4s}").
+type segKey struct {
+	video     videoKey
+	splicerID string
+}
+
+// splicerIdentity renders a splicer's type and value as a cache key
+// component. Splicers in this repo are value types whose fields fully
+// determine their output, so type+value is a complete identity.
+func splicerIdentity(sp splicer.Splicer) string {
+	return fmt.Sprintf("%T%+v", sp, sp)
+}
+
+type videoEntry struct {
+	once sync.Once
+	v    *media.Video
+	err  error
+}
+
+type segEntry struct {
+	once sync.Once
+	segs []simpeer.SegmentMeta
+	err  error
+}
+
+// clipCache memoizes synthesized videos and spliced segment metadata.
+type clipCache struct {
+	mu     sync.Mutex // guards videos and segs
+	videos map[videoKey]*videoEntry
+	segs   map[segKey]*segEntry
+}
+
+// globalClips is the process-wide cache behind Params.Video and
+// Params.Segments. Experiments across figures (and benchmark iterations)
+// share it; keys carry every input that determines the output, so sharing
+// cannot change results.
+var globalClips = &clipCache{
+	videos: make(map[videoKey]*videoEntry),
+	segs:   make(map[segKey]*segEntry),
+}
+
+// videoEntryFor returns the (possibly new) entry for k.
+func (c *clipCache) videoEntryFor(k videoKey) *videoEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.videos[k]
+	if !ok {
+		e = &videoEntry{}
+		c.videos[k] = e
+	}
+	return e
+}
+
+// segEntryFor returns the (possibly new) entry for k.
+func (c *clipCache) segEntryFor(k segKey) *segEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.segs[k]
+	if !ok {
+		e = &segEntry{}
+		c.segs[k] = e
+	}
+	return e
+}
+
+// video returns the memoized clip for k, synthesizing on first use.
+func (c *clipCache) video(k videoKey) (*media.Video, error) {
+	e := c.videoEntryFor(k)
+	e.once.Do(func() {
+		e.v, e.err = media.Synthesize(k.enc, k.dur, k.seed)
+	})
+	return e.v, e.err
+}
+
+// segments returns a fresh copy of the memoized segment metadata for k,
+// splicing on first use. The copy keeps callers from aliasing each other's
+// slices (SegmentMeta elements are plain values, so a shallow copy is a
+// full one).
+func (c *clipCache) segments(k segKey, sp splicer.Splicer) ([]simpeer.SegmentMeta, error) {
+	e := c.segEntryFor(k)
+	e.once.Do(func() {
+		v, err := c.video(k.video)
+		if err != nil {
+			e.err = err
+			return
+		}
+		segs, err := sp.Splice(v)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.segs = segmentMeta(segs)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]simpeer.SegmentMeta, len(e.segs))
+	copy(out, e.segs)
+	return out, nil
+}
+
+// segmentMeta converts spliced segments to swarm-level metadata, with wire
+// sizes accounting for the container framing.
+func segmentMeta(segs []splicer.Segment) []simpeer.SegmentMeta {
+	out := make([]simpeer.SegmentMeta, len(segs))
+	for i, s := range segs {
+		out[i] = simpeer.SegmentMeta{
+			Bytes:    container.WireSize(len(s.Frames), s.Bytes()),
+			Duration: s.Duration(),
+		}
+	}
+	return out
+}
+
+// videoKey builds the cache key for p's clip.
+func (p Params) videoKey() videoKey {
+	return videoKey{enc: p.Encoder, dur: p.ClipDuration, seed: p.VideoSeed}
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// These tests enforce the runner's headline guarantee: fanning the figure
+// cells out on a worker pool changes nothing. For every figure, the
+// parallel FigureResult must be float-bit-identical (math.Float64bits — the
+// measurement packages ban float ==) to the Workers=1 output for the same
+// seeds.
+
+// figureGen names one figure generator at its reduced test axis.
+type figureGen struct {
+	name string
+	bws  []int64
+	run  func(Params, []int64) (*FigureResult, error)
+}
+
+func figureGens() []figureGen {
+	return []figureGen{
+		{"Fig2Stalls", []int64{128, 512, 1024}, func(p Params, bws []int64) (*FigureResult, error) { return p.Fig2Stalls(bws) }},
+		{"Fig3StallDuration", []int64{128, 512}, func(p Params, bws []int64) (*FigureResult, error) { return p.Fig3StallDuration(bws) }},
+		{"Fig4Startup", []int64{128, 1024}, func(p Params, bws []int64) (*FigureResult, error) { return p.Fig4Startup(bws) }},
+		{"Fig5Pooling", []int64{128, 768}, func(p Params, bws []int64) (*FigureResult, error) { return p.Fig5Pooling(bws) }},
+		{"Fig6AdaptiveSplicing", []int64{256, 768}, func(p Params, bws []int64) (*FigureResult, error) { return p.Fig6AdaptiveSplicing(bws) }},
+	}
+}
+
+// assertBitIdentical fails unless a and b hold exactly the same series with
+// exactly the same float bits.
+func assertBitIdentical(t *testing.T, context string, serial, parallel map[string][]float64) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: %d series serial vs %d parallel", context, len(serial), len(parallel))
+	}
+	for name, sv := range serial {
+		pv, ok := parallel[name]
+		if !ok {
+			t.Errorf("%s: series %q missing from parallel result", context, name)
+			continue
+		}
+		if len(sv) != len(pv) {
+			t.Errorf("%s/%s: %d values serial vs %d parallel", context, name, len(sv), len(pv))
+			continue
+		}
+		for i := range sv {
+			if math.Float64bits(sv[i]) != math.Float64bits(pv[i]) {
+				t.Errorf("%s/%s[%d]: serial %v (0x%016x) vs parallel %v (0x%016x)",
+					context, name, i, sv[i], math.Float64bits(sv[i]), pv[i], math.Float64bits(pv[i]))
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerial runs every figure at QuickParams scale with
+// Workers=1 and again at Workers ∈ {2, GOMAXPROCS}, and requires
+// bit-identical values.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure equivalence sweep")
+	}
+	workerCounts := []int{2, runtime.GOMAXPROCS(0)}
+	for _, g := range figureGens() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			serialP := QuickParams()
+			serialP.Workers = 1
+			serial, err := g.run(serialP, g.bws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				par := QuickParams()
+				par.Workers = w
+				got, err := g.run(par, g.bws)
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", w, err)
+				}
+				assertBitIdentical(t, fmt.Sprintf("%s Workers=%d", g.name, w), serial.Values, got.Values)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialMultiRun repeats the check with Runs > 1 so
+// per-point averaging (the only float accumulation the runner performs)
+// is covered, and with a non-default seed so nothing leans on the cache
+// state other tests populate.
+func TestParallelMatchesSerialMultiRun(t *testing.T) {
+	base := QuickParams()
+	base.ClipDuration = base.ClipDuration / 2
+	base.Leechers = 4
+	base.Runs = 3
+	base.BaseSeed = 7777
+
+	serialP := base
+	serialP.Workers = 1
+	serial, err := serialP.Fig2Stalls([]int64{128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		par := base
+		par.Workers = w
+		got, err := par.Fig2Stalls([]int64{128, 512})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("Fig2Stalls Runs=3 Workers=%d", w), serial.Values, got.Values)
+	}
+}

@@ -7,10 +7,8 @@
 package experiment
 
 import (
-	"fmt"
 	"time"
 
-	"p2psplice/internal/container"
 	"p2psplice/internal/core"
 	"p2psplice/internal/media"
 	"p2psplice/internal/metrics"
@@ -44,6 +42,11 @@ type Params struct {
 	// ResumeBuffer is the player's rebuffering depth after a stall
 	// (VLC-like players rebuffer a few seconds before resuming).
 	ResumeBuffer time.Duration
+	// Workers bounds the runner's worker pool: every (series × bandwidth ×
+	// run) cell of a figure is an independent job. 0 means GOMAXPROCS;
+	// 1 forces the serial path. Results are bit-identical either way
+	// (each cell owns its seed; see runner.go).
+	Workers int
 }
 
 // DefaultParams mirrors the paper's Section V setup.
@@ -72,30 +75,21 @@ func QuickParams() Params {
 	return p
 }
 
-// Video synthesizes the experiment clip.
+// Video returns the experiment clip, synthesizing it on first use and
+// serving it from the process-wide cache afterwards (synthesis is a pure
+// function of the encoder config, duration, and seed). The returned video
+// is shared — treat it as read-only, as every splicer does.
 func (p Params) Video() (*media.Video, error) {
-	return media.Synthesize(p.Encoder, p.ClipDuration, p.VideoSeed)
+	return globalClips.video(p.videoKey())
 }
 
 // Segments splices the experiment clip with sp and returns the swarm-level
 // segment metadata, with wire sizes accounting for the container framing.
+// Results are memoized process-wide by (encoder config, clip duration,
+// video seed, splicer identity); each call returns a fresh copy of the
+// cached slice, so callers never alias each other's state.
 func (p Params) Segments(sp splicer.Splicer) ([]simpeer.SegmentMeta, error) {
-	v, err := p.Video()
-	if err != nil {
-		return nil, err
-	}
-	segs, err := sp.Splice(v)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]simpeer.SegmentMeta, len(segs))
-	for i, s := range segs {
-		out[i] = simpeer.SegmentMeta{
-			Bytes:    container.WireSize(len(s.Frames), s.Bytes()),
-			Duration: s.Duration(),
-		}
-	}
-	return out, nil
+	return globalClips.segments(segKey{video: p.videoKey(), splicerID: splicerIdentity(sp)}, sp)
 }
 
 // swarmConfig assembles the common swarm configuration.
@@ -123,48 +117,43 @@ type Point struct {
 	StartupSecs  float64
 }
 
-// runPoint executes Runs repetitions at one sweep point and averages.
-func (p Params) runPoint(segs []simpeer.SegmentMeta, bandwidthKB int64, policy core.Policy,
-	mod func(*simpeer.SwarmConfig)) (Point, error) {
-	var stalls, stallSecs, startups []float64
+// runPoint executes Runs repetitions at one sweep point (on the worker
+// pool when Runs > 1 and Workers allows) and averages. label attributes
+// failures to the figure and series that scheduled the point.
+func (p Params) runPoint(label string, segs []simpeer.SegmentMeta, bandwidthKB int64,
+	policy core.Policy, mod func(*simpeer.SwarmConfig)) (Point, error) {
+	cells := make([]cell, p.Runs)
 	for r := 0; r < p.Runs; r++ {
-		cfg := p.swarmConfig(bandwidthKB, policy, p.BaseSeed+int64(r))
-		if mod != nil {
-			mod(&cfg)
-		}
-		res, err := simpeer.RunSwarm(cfg, segs)
-		if err != nil {
-			return Point{}, fmt.Errorf("experiment: bandwidth %d kB/s: %w", bandwidthKB, err)
-		}
-		sum := res.Summary()
-		stalls = append(stalls, sum.MeanStalls)
-		stallSecs = append(stallSecs, sum.MeanStallSeconds)
-		startups = append(startups, sum.MeanStartupSeconds)
+		cells[r] = cell{label: label, segs: segs, bandwidthKB: bandwidthKB,
+			policy: policy, mod: mod, run: r}
 	}
-	return Point{
-		BandwidthKB:  bandwidthKB,
-		Stalls:       metrics.Mean(stalls),
-		StallSeconds: metrics.Mean(stallSecs),
-		StartupSecs:  metrics.Mean(startups),
-	}, nil
+	outs, err := p.runCells(cells)
+	if err != nil {
+		return Point{}, err
+	}
+	return averageCells(bandwidthKB, outs), nil
 }
 
-// Sweep runs one series over the bandwidth axis.
+// Sweep runs one series over the bandwidth axis, fanning the (bandwidth ×
+// run) cells out on the worker pool.
 func (p Params) Sweep(sp splicer.Splicer, policy core.Policy, bandwidthsKB []int64,
 	mod func(*simpeer.SwarmConfig)) ([]Point, error) {
 	segs, err := p.Segments(sp)
 	if err != nil {
 		return nil, err
 	}
-	points := make([]Point, 0, len(bandwidthsKB))
-	for _, bw := range bandwidthsKB {
-		pt, err := p.runPoint(segs, bw, policy, mod)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, pt)
+	points, err := p.runSweeps([]sweepSpec{{
+		name:       sp.Name(),
+		label:      "sweep/" + sp.Name(),
+		segs:       segs,
+		policy:     policy,
+		mod:        mod,
+		bandwidths: bandwidthsKB,
+	}})
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
+	return points[0], nil
 }
 
 // FigureResult is a rendered figure plus its raw series for assertions.

@@ -148,11 +148,11 @@ func TestFig5AdaptiveStartupAdvantage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adaptive, err := p.runPoint(segs, 128, core.AdaptivePool{}, nil)
+	adaptive, err := p.runPoint("test/adaptive", segs, 128, core.AdaptivePool{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool8, err := p.runPoint(segs, 128, core.FixedPool{K: 8}, nil)
+	pool8, err := p.runPoint("test/pool-8", segs, 128, core.FixedPool{K: 8}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,32 +40,47 @@ func bandwidthLabels(bws []int64) []string {
 }
 
 // splicingSweep runs Figures 2 and 3's sweep once and extracts the chosen
-// measure from each point.
+// measure from each point. All four series fan out together on the worker
+// pool; figName attributes any cell failure ("Figure 2/gop").
 func (p Params) splicingSweep(bandwidths []int64, measure func(Point) float64,
-	format func(float64) string, title string) (*FigureResult, error) {
+	format func(float64) string, figName, title string) (*FigureResult, error) {
 	fig := metrics.Figure{
 		Title:   title,
 		XLabel:  "Available Bandwidth (kB/s)",
 		XValues: bandwidthLabels(bandwidths),
 	}
-	res := &FigureResult{Values: make(map[string][]float64)}
+	specs := make([]sweepSpec, 0, 4)
 	for _, sp := range SplicingSet() {
-		points, err := p.Sweep(sp, core.AdaptivePool{}, bandwidths, nil)
+		segs, err := p.Segments(sp)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sp.Name(), err)
-		}
-		nums := make([]float64, len(points))
-		cells := make([]string, len(points))
-		for i, pt := range points {
-			nums[i] = measure(pt)
-			cells[i] = format(nums[i])
 		}
 		name := sp.Name()
 		if sp.Kind() == splicer.KindGOP {
 			name = "gop"
 		}
-		res.Values[name] = nums
-		fig.AddSeries(name, cells)
+		specs = append(specs, sweepSpec{
+			name:       name,
+			label:      figName + "/" + name,
+			segs:       segs,
+			policy:     core.AdaptivePool{},
+			bandwidths: bandwidths,
+		})
+	}
+	points, err := p.runSweeps(specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{Values: make(map[string][]float64)}
+	for i, spec := range specs {
+		nums := make([]float64, len(points[i]))
+		cells := make([]string, len(points[i]))
+		for j, pt := range points[i] {
+			nums[j] = measure(pt)
+			cells[j] = format(nums[j])
+		}
+		res.Values[spec.name] = nums
+		fig.AddSeries(spec.name, cells)
 	}
 	res.Figure = fig
 	return res, nil
@@ -81,6 +96,7 @@ func (p Params) Fig2Stalls(bandwidths []int64) (*FigureResult, error) {
 	return p.splicingSweep(bandwidths,
 		func(pt Point) float64 { return pt.Stalls },
 		func(v float64) string { return strconv.Itoa(int(v + 0.5)) },
+		"Figure 2",
 		"Figure 2: Total number of stalls for different bandwidths")
 }
 
@@ -93,6 +109,7 @@ func (p Params) Fig3StallDuration(bandwidths []int64) (*FigureResult, error) {
 	return p.splicingSweep(bandwidths,
 		func(pt Point) float64 { return pt.StallSeconds },
 		metrics.FormatSeconds,
+		"Figure 3",
 		"Figure 3: Total stall duration for different bandwidths")
 }
 
@@ -110,25 +127,39 @@ func (p Params) Fig4Startup(bandwidths []int64) (*FigureResult, error) {
 		XLabel:  "Available Bandwidth (kB/s)",
 		XValues: bandwidthLabels(bandwidths),
 	}
-	res := &FigureResult{Values: make(map[string][]float64)}
+	specs := make([]sweepSpec, 0, 3)
 	for _, target := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
 		sp := splicer.DurationSplicer{Target: target}
-		points, err := p.Sweep(sp, core.AdaptivePool{}, bandwidths, func(cfg *simpeer.SwarmConfig) {
-			cfg.SeederAccessDelay = 475 * time.Millisecond
-			cfg.LossRate = 0
-		})
+		segs, err := p.Segments(sp)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sp.Name(), err)
 		}
-		nums := make([]float64, len(points))
-		cells := make([]string, len(points))
-		for i, pt := range points {
-			nums[i] = pt.StartupSecs
-			cells[i] = metrics.FormatSeconds(nums[i])
+		specs = append(specs, sweepSpec{
+			name:   sp.Name(),
+			label:  "Figure 4/" + sp.Name(),
+			segs:   segs,
+			policy: core.AdaptivePool{},
+			mod: func(cfg *simpeer.SwarmConfig) {
+				cfg.SeederAccessDelay = 475 * time.Millisecond
+				cfg.LossRate = 0
+			},
+			bandwidths: bandwidths,
+		})
+	}
+	points, err := p.runSweeps(specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{Values: make(map[string][]float64)}
+	for i, spec := range specs {
+		nums := make([]float64, len(points[i]))
+		cells := make([]string, len(points[i]))
+		for j, pt := range points[i] {
+			nums[j] = pt.StartupSecs
+			cells[j] = metrics.FormatSeconds(nums[j])
 		}
-		name := sp.Name() + " segment"
-		res.Values[sp.Name()] = nums
-		fig.AddSeries(name, cells)
+		res.Values[spec.name] = nums
+		fig.AddSeries(spec.name+" segment", cells)
 	}
 	res.Figure = fig
 	return res, nil
@@ -159,23 +190,34 @@ func (p Params) Fig5Pooling(bandwidths []int64) (*FigureResult, error) {
 		XLabel:  "Available Bandwidth (kB/s)",
 		XValues: bandwidthLabels(bandwidths),
 	}
+	policies := PolicySet()
+	specs := make([]sweepSpec, 0, len(policies))
+	for _, pol := range policies {
+		specs = append(specs, sweepSpec{
+			name:       pol.Name(),
+			label:      "Figure 5/" + pol.Name(),
+			segs:       segs,
+			policy:     pol,
+			bandwidths: bandwidths,
+		})
+	}
+	points, err := p.runSweeps(specs)
+	if err != nil {
+		return nil, err
+	}
 	res := &FigureResult{Values: make(map[string][]float64)}
-	for _, pol := range PolicySet() {
-		nums := make([]float64, len(bandwidths))
-		cells := make([]string, len(bandwidths))
-		for i, bw := range bandwidths {
-			pt, err := p.runPoint(segs, bw, pol, nil)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", pol.Name(), err)
-			}
-			nums[i] = pt.Stalls
-			cells[i] = strconv.Itoa(int(nums[i] + 0.5))
+	for i, spec := range specs {
+		nums := make([]float64, len(points[i]))
+		cells := make([]string, len(points[i]))
+		for j, pt := range points[i] {
+			nums[j] = pt.Stalls
+			cells[j] = strconv.Itoa(int(nums[j] + 0.5))
 		}
-		name := pol.Name()
+		name := spec.name
 		if name == "adaptive" {
 			name = "adaptive pooling"
 		}
-		res.Values[pol.Name()] = nums
+		res.Values[spec.name] = nums
 		fig.AddSeries(name, cells)
 	}
 	res.Figure = fig

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"p2psplice/internal/core"
+	"p2psplice/internal/splicer"
+)
+
+// The seed-matrix golden test pins exact Point values for a grid of
+// (seed × splicer × bandwidth) quick-scale runs. The equivalence tests
+// prove parallel == serial; this file catches determinism drift both of
+// them would miss (a change that shifts serial AND parallel output the
+// same way), and localizes it to the exact seed/splicer/bandwidth cell.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test ./internal/experiment -run TestSeedMatrixGolden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the seed-matrix golden file")
+
+const goldenPath = "testdata/seed_matrix.golden.json"
+
+// goldenEntry is one pinned cell. Floats are stored as Go hexadecimal
+// float literals ('x' format), which round-trip bit-exactly through text.
+type goldenEntry struct {
+	Seed        int64  `json:"seed"`
+	Splicer     string `json:"splicer"`
+	BandwidthKB int64  `json:"bandwidth_kb"`
+	Stalls      string `json:"stalls"`
+	StallSecs   string `json:"stall_seconds"`
+	StartupSecs string `json:"startup_seconds"`
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// goldenParams is the pinned scale: small enough to run the whole grid in
+// seconds, large enough that the swarm actually stalls and recovers.
+func goldenParams(seed int64) Params {
+	p := QuickParams()
+	p.ClipDuration = 24 * time.Second
+	p.Leechers = 4
+	p.BaseSeed = seed
+	return p
+}
+
+func goldenGrid() (seeds []int64, splicers []splicer.Splicer, bandwidths []int64) {
+	seeds = []int64{1, 42, 9001}
+	splicers = []splicer.Splicer{
+		splicer.GOPSplicer{},
+		splicer.DurationSplicer{Target: 2 * time.Second},
+		splicer.DurationSplicer{Target: 8 * time.Second},
+	}
+	bandwidths = []int64{128, 512}
+	return
+}
+
+// computeSeedMatrix runs the full grid and returns the entries in grid
+// order.
+func computeSeedMatrix(t *testing.T) []goldenEntry {
+	t.Helper()
+	seeds, splicers, bandwidths := goldenGrid()
+	var entries []goldenEntry
+	for _, seed := range seeds {
+		p := goldenParams(seed)
+		for _, sp := range splicers {
+			segs, err := p.Segments(sp)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sp.Name(), err)
+			}
+			for _, bw := range bandwidths {
+				label := fmt.Sprintf("golden/seed=%d/%s", seed, sp.Name())
+				pt, err := p.runPoint(label, segs, bw, core.AdaptivePool{}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				entries = append(entries, goldenEntry{
+					Seed:        seed,
+					Splicer:     sp.Name(),
+					BandwidthKB: bw,
+					Stalls:      hexFloat(pt.Stalls),
+					StallSecs:   hexFloat(pt.StallSeconds),
+					StartupSecs: hexFloat(pt.StartupSecs),
+				})
+			}
+		}
+	}
+	return entries
+}
+
+// TestSeedMatrixGolden compares the computed grid against the pinned file,
+// cell by cell and bit by bit.
+func TestSeedMatrixGolden(t *testing.T) {
+	got := computeSeedMatrix(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("computed %d entries, golden has %d (run with -update after changing the grid)", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Seed != g.Seed || w.Splicer != g.Splicer || w.BandwidthKB != g.BandwidthKB {
+			t.Fatalf("entry %d: grid mismatch: golden (%d,%s,%d) vs computed (%d,%s,%d)",
+				i, w.Seed, w.Splicer, w.BandwidthKB, g.Seed, g.Splicer, g.BandwidthKB)
+		}
+		ctx := fmt.Sprintf("seed=%d splicer=%s bw=%d", w.Seed, w.Splicer, w.BandwidthKB)
+		assertHexFloatEqual(t, ctx+" stalls", w.Stalls, g.Stalls)
+		assertHexFloatEqual(t, ctx+" stallSeconds", w.StallSecs, g.StallSecs)
+		assertHexFloatEqual(t, ctx+" startupSeconds", w.StartupSecs, g.StartupSecs)
+	}
+}
+
+// assertHexFloatEqual parses both hex-float literals and compares their
+// bit patterns, reporting both representations on drift.
+func assertHexFloatEqual(t *testing.T, context, want, got string) {
+	t.Helper()
+	wv, err := strconv.ParseFloat(want, 64)
+	if err != nil {
+		t.Fatalf("%s: bad golden value %q: %v", context, want, err)
+	}
+	gv, err := strconv.ParseFloat(got, 64)
+	if err != nil {
+		t.Fatalf("%s: bad computed value %q: %v", context, got, err)
+	}
+	if math.Float64bits(wv) != math.Float64bits(gv) {
+		t.Errorf("%s: determinism drift: golden %s (%g) vs computed %s (%g)",
+			context, want, wv, got, gv)
+	}
+}
+
+// TestSeedMatrixGoldenParallelAgrees reruns a slice of the grid with a
+// multi-worker pool and checks it against the same golden file, tying the
+// golden pins to the parallel path too.
+func TestSeedMatrixGoldenParallelAgrees(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file being regenerated")
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]goldenEntry, len(want))
+	for _, w := range want {
+		byKey[fmt.Sprintf("%d/%s/%d", w.Seed, w.Splicer, w.BandwidthKB)] = w
+	}
+	p := goldenParams(42)
+	p.Workers = 4
+	sp := splicer.DurationSplicer{Target: 2 * time.Second}
+	segs, err := p.Segments(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bw := range []int64{128, 512} {
+		pt, err := p.runPoint("golden-parallel/2s", segs, bw, core.AdaptivePool{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := byKey[fmt.Sprintf("42/2s/%d", bw)]
+		if !ok {
+			t.Fatalf("golden file missing 42/2s/%d", bw)
+		}
+		ctx := fmt.Sprintf("parallel seed=42 splicer=2s bw=%d", bw)
+		assertHexFloatEqual(t, ctx+" stalls", w.Stalls, hexFloat(pt.Stalls))
+		assertHexFloatEqual(t, ctx+" stallSeconds", w.StallSecs, hexFloat(pt.StallSeconds))
+		assertHexFloatEqual(t, ctx+" startupSeconds", w.StartupSecs, hexFloat(pt.StartupSecs))
+	}
+}

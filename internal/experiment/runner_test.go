@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2psplice/internal/core"
+	"p2psplice/internal/splicer"
+)
+
+// TestRunCellErrorAttribution: a failure inside a parallel fan-out must
+// name the figure/series that scheduled the cell, the bandwidth, and the
+// run index — "bandwidth 128 kB/s" alone is unattributable once dozens of
+// cells are in flight.
+func TestRunCellErrorAttribution(t *testing.T) {
+	p := testParams()
+	segs, err := p.Segments(splicer.GOPSplicer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Leechers = 0 // invalid swarm: the cell fails
+	_, err = p.runCell(cell{
+		label:       "Figure 9/test-series",
+		segs:        segs,
+		bandwidthKB: 128,
+		policy:      core.AdaptivePool{},
+		run:         2,
+	})
+	if err == nil {
+		t.Fatal("invalid swarm: want error")
+	}
+	for _, want := range []string{"Figure 9/test-series", "bandwidth 128 kB/s", "run 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestFigureErrorNamesSeries: the attribution must survive all the way out
+// of a figure function, for both serial and parallel pools, and be the
+// same error either way (errors are selected by cell index, not completion
+// order).
+func TestFigureErrorNamesSeries(t *testing.T) {
+	msgs := make([]string, 0, 2)
+	for _, workers := range []int{1, 4} {
+		p := testParams()
+		p.Workers = workers
+		p.Leechers = 0
+		_, err := p.Fig2Stalls([]int64{128, 256})
+		if err == nil {
+			t.Fatalf("Workers=%d: invalid swarm: want error", workers)
+		}
+		if !strings.Contains(err.Error(), "Figure 2/gop") {
+			t.Errorf("Workers=%d: error %q does not attribute the series", workers, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error depends on pool size: serial %q vs parallel %q", msgs[0], msgs[1])
+	}
+}
+
+// TestRunCellsWorkerBounds: degenerate pool shapes — no cells, one cell,
+// more workers than cells — all complete and merge positionally.
+func TestRunCellsWorkerBounds(t *testing.T) {
+	p := testParams()
+	segs, err := p.Segments(splicer.DurationSplicer{Target: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 16} {
+		p.Workers = workers
+		out, err := p.runCells(nil)
+		if err != nil || len(out) != 0 {
+			t.Fatalf("Workers=%d: empty cell list: %v, %d results", workers, err, len(out))
+		}
+		cells := []cell{{label: "bounds/one", segs: segs, bandwidthKB: 512, policy: core.AdaptivePool{}}}
+		out, err = p.runCells(cells)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("Workers=%d: %d results for 1 cell", workers, len(out))
+		}
+	}
+}
+
+// TestEffectiveWorkers pins the override semantics the flag and the
+// figure functions rely on.
+func TestEffectiveWorkers(t *testing.T) {
+	p := testParams()
+	p.Workers = 0
+	if got := p.effectiveWorkers(); got < 1 {
+		t.Errorf("Workers=0 resolved to %d", got)
+	}
+	p.Workers = 3
+	if got := p.effectiveWorkers(); got != 3 {
+		t.Errorf("Workers=3 resolved to %d", got)
+	}
+	p.Workers = 1
+	if got := p.effectiveWorkers(); got != 1 {
+		t.Errorf("Workers=1 resolved to %d", got)
+	}
+}
