@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint fuzz-smoke bench-json
+.PHONY: all build test race vet lint fuzz-smoke bench-json trace-smoke
 
 all: build vet lint test
 
@@ -28,6 +28,14 @@ lint:
 bench-json:
 	$(GO) run ./cmd/experiment -quick -json > experiment-quick.json
 	$(GO) test -run='^$$' -bench='^BenchmarkFig' -benchtime=1x .
+
+# trace-smoke: regenerate Figure 2 at quick scale with per-cell trace
+# artifacts (JSONL + Chrome trace + stall timeline) into trace-quick/.
+# Figure values are bit-identical with tracing on or off (DESIGN.md §8).
+trace-smoke:
+	$(GO) run ./cmd/experiment -quick -figure 2 -trace trace-quick > /dev/null
+	@ls trace-quick | head -6
+	@echo "trace-smoke: $$(ls trace-quick | wc -l) artifacts in trace-quick/"
 
 # Short fuzz pass over every fuzz target; go's fuzzer accepts one -fuzz
 # pattern per package invocation, so targets run sequentially.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiment [-figure all|2|3|4|5|table] [-quick] [-runs N] [-leechers N]
-//	           [-clip 2m] [-seed N] [-workers N] [-json]
+//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR]
 //	           [-ablation churn|estimator|relay|rarest|cross|varbw]
 package main
 
@@ -38,6 +38,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable figure results as JSON on stdout instead of text tables")
+		traceDir = flag.String("trace", "", "write per-cell trace artifacts (.jsonl, .trace.json, .timeline.json) into this directory; figure values are unchanged")
 	)
 	flag.Parse()
 
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *workers != 0 {
 		p.Workers = *workers
+	}
+	if *traceDir != "" {
+		p.TraceDir = *traceDir
 	}
 
 	if *ablation != "" {

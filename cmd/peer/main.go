@@ -6,7 +6,7 @@
 //
 //	peer -tracker http://127.0.0.1:7070 -info-hash HEX
 //	     [-policy adaptive|pool-2|pool-4|pool-8] [-listen 127.0.0.1:0]
-//	     [-shape-kbps 128] [-shape-latency 25ms] [-progress]
+//	     [-shape-kbps 128] [-shape-latency 25ms] [-progress] [-trace FILE]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"p2psplice/internal/peer"
 	"p2psplice/internal/player"
 	"p2psplice/internal/shaper"
+	"p2psplice/internal/trace"
 	"p2psplice/internal/tracker"
 	"p2psplice/internal/wire"
 )
@@ -36,9 +37,10 @@ func main() {
 		shapeLat   = flag.Duration("shape-latency", 0, "access-link setup latency")
 		progress   = flag.Bool("progress", false, "print download progress")
 		timeout    = flag.Duration("timeout", 30*time.Minute, "abort if not complete after this long")
+		tracePath  = flag.String("trace", "", "stream trace events to this file as JSONL and print the counter registry on exit")
 	)
 	flag.Parse()
-	if err := run(*trackerURL, *infoHash, *policyName, *listen, *shapeKBps, *shapeLat, *progress, *timeout); err != nil {
+	if err := run(*trackerURL, *infoHash, *policyName, *listen, *shapeKBps, *shapeLat, *progress, *timeout, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "peer:", err)
 		os.Exit(1)
 	}
@@ -59,7 +61,7 @@ func parsePolicy(name string) (core.Policy, error) {
 }
 
 func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
-	shapeLat time.Duration, progress bool, timeout time.Duration) error {
+	shapeLat time.Duration, progress bool, timeout time.Duration, tracePath string) error {
 	ih, err := wire.ParseInfoHash(infoHash)
 	if err != nil {
 		return err
@@ -71,6 +73,30 @@ func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
 	cfg := peer.Config{ListenAddr: listen, Policy: policy, AnnounceInterval: 5 * time.Second}
 	if shapeKBps > 0 || shapeLat > 0 {
 		cfg.Shape = &shaper.Config{RateBytesPerSec: shapeKBps * 1024, Latency: shapeLat}
+	}
+
+	var reg *trace.Registry
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		jw := trace.NewJSONLWriter(f)
+		cfg.Trace = trace.New(jw)
+		reg = trace.NewRegistry()
+		cfg.Metrics = reg
+		defer func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "peer: trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "peer: trace:", err)
+			}
+			fmt.Println("-- metrics --")
+			if err := reg.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "peer: metrics:", err)
+			}
+		}()
 	}
 
 	trk := tracker.NewClient(trackerURL, nil)

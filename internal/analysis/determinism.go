@@ -21,6 +21,7 @@ var DeterministicPackages = []string{
 	"p2psplice/internal/media",
 	"p2psplice/internal/experiment",
 	"p2psplice/internal/metrics",
+	"p2psplice/internal/trace",
 }
 
 // Determinism flags, inside the simulation-deterministic packages:

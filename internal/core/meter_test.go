@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeterConcurrentDownloadsEstimateAggregate is the regression test
+// for the Eq. 1 bandwidth-input bug: k concurrent equal-rate downloads
+// sharing a B-byte/s link must estimate ≈B. The naive per-segment
+// estimator (each transfer observed with its own wall time) converges to
+// ~B/k on the same schedule, which this test also demonstrates so the
+// failure mode stays documented.
+func TestMeterConcurrentDownloadsEstimateAggregate(t *testing.T) {
+	const (
+		linkB = int64(100_000) // bytes/s shared by all transfers
+		k     = 4
+		segW  = int64(50_000) // bytes per segment
+	)
+	m, err := NewAggregateMeter(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewBandwidthEstimator(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// k transfers start together and share the link fairly, so all k
+	// complete at t = k*W/B = 2s, each having privately averaged B/k.
+	total := time.Duration(float64(k*segW) / float64(linkB) * float64(time.Second))
+	for i := 0; i < k; i++ {
+		m.Start(0)
+	}
+	// Bytes arrive continuously; model them in 100ms batches.
+	const step = 100 * time.Millisecond
+	for at := step; at <= total; at += step {
+		m.Deliver(linkB / 10)
+	}
+	for i := 0; i < k; i++ {
+		m.Finish(total)
+		naive.Observe(segW, total) // what download.go used to do
+	}
+
+	got := m.Estimate()
+	if got < linkB*8/10 || got > linkB*12/10 {
+		t.Fatalf("aggregate meter estimates %d B/s for a %d B/s link (want within 20%%)", got, linkB)
+	}
+	if m.InFlight() != 0 {
+		t.Fatalf("inflight = %d after all finishes", m.InFlight())
+	}
+	// The old input really does collapse to B/k.
+	old := naive.Estimate()
+	if old > linkB/2 {
+		t.Fatalf("per-segment estimator gave %d B/s; expected ~B/k = %d (test premise broken)",
+			old, linkB/int64(k))
+	}
+}
+
+// TestMeterSequentialMatchesSimpleObservation: with no concurrency the
+// meter degenerates to the plain per-transfer estimate.
+func TestMeterSequentialMatchesSimpleObservation(t *testing.T) {
+	m, err := NewAggregateMeter(1) // track latest sample exactly
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		m.Start(now)
+		m.Deliver(64_000)
+		now += time.Second
+		m.Finish(now)
+		// 1s idle gap between transfers must not dilute the rate.
+		now += time.Second
+	}
+	if got := m.Estimate(); got != 64_000 {
+		t.Fatalf("estimate = %d, want 64000 (idle time leaked into the window?)", got)
+	}
+	if m.Samples() != 3 {
+		t.Fatalf("samples = %d, want 3", m.Samples())
+	}
+}
+
+// TestMeterSubWindowCompletionsFold: completions inside the minimum
+// window produce no bogus sample; their bytes fold into the next one.
+func TestMeterSubWindowCompletionsFold(t *testing.T) {
+	m, err := NewAggregateMeter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(0)
+	m.Start(0)
+	m.Deliver(1_000)
+	m.Finish(5 * time.Millisecond) // below minMeterWindow: no sample
+	if m.Samples() != 0 {
+		t.Fatalf("sub-window completion produced a sample")
+	}
+	m.Deliver(99_000)
+	m.Finish(time.Second)
+	if m.Samples() != 1 {
+		t.Fatalf("samples = %d, want 1", m.Samples())
+	}
+	if got := m.Estimate(); got != 100_000 {
+		t.Fatalf("estimate = %d, want 100000 (early bytes lost?)", got)
+	}
+}
+
+// TestMeterValidation rejects bad alpha like the estimator does.
+func TestMeterValidation(t *testing.T) {
+	if _, err := NewAggregateMeter(0); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := NewAggregateMeter(1.5); err == nil {
+		t.Fatal("alpha 1.5 accepted")
+	}
+}
+
+// TestMeterUnmatchedFinishClamps: a Finish without a Start (possible on
+// teardown races) must not wedge the in-flight count below zero.
+func TestMeterUnmatchedFinishClamps(t *testing.T) {
+	m, err := NewAggregateMeter(DefaultEWMAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Finish(time.Second)
+	if m.InFlight() != 0 {
+		t.Fatalf("inflight = %d, want 0", m.InFlight())
+	}
+	m.Start(2 * time.Second)
+	m.Deliver(10_000)
+	m.Finish(3 * time.Second)
+	if got := m.Estimate(); got != 10_000 {
+		t.Fatalf("estimate = %d, want 10000", got)
+	}
+}

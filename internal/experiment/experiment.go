@@ -47,6 +47,13 @@ type Params struct {
 	// 1 forces the serial path. Results are bit-identical either way
 	// (each cell owns its seed; see runner.go).
 	Workers int
+	// TraceDir, when non-empty, attaches a tracer to every cell and writes
+	// three artifacts per cell into the directory: <label>-bw<N>-run<R>
+	// .jsonl (raw events), .trace.json (Chrome trace-event format), and
+	// .timeline.json (per-peer stall timeline with attributed causes).
+	// Tracing is observational only; figure values are bit-identical with
+	// TraceDir set or empty (DESIGN.md §8).
+	TraceDir string
 }
 
 // DefaultParams mirrors the paper's Section V setup.

@@ -156,6 +156,48 @@ func assertHexFloatEqual(t *testing.T, context, want, got string) {
 	}
 }
 
+// TestSeedMatrixGoldenTracedAgrees reruns a slice of the grid with trace
+// artifacts enabled and checks it against the same golden file: tracing
+// must not move a single bit of the pinned values (DESIGN.md §8).
+func TestSeedMatrixGoldenTracedAgrees(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file being regenerated")
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]goldenEntry, len(want))
+	for _, w := range want {
+		byKey[fmt.Sprintf("%d/%s/%d", w.Seed, w.Splicer, w.BandwidthKB)] = w
+	}
+	p := goldenParams(9001)
+	p.TraceDir = t.TempDir()
+	sp := splicer.GOPSplicer{}
+	segs, err := p.Segments(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bw := range []int64{128, 512} {
+		pt, err := p.runPoint("golden-traced/gop", segs, bw, core.AdaptivePool{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := byKey[fmt.Sprintf("9001/gop/%d", bw)]
+		if !ok {
+			t.Fatalf("golden file missing 9001/gop/%d", bw)
+		}
+		ctx := fmt.Sprintf("traced seed=9001 splicer=gop bw=%d", bw)
+		assertHexFloatEqual(t, ctx+" stalls", w.Stalls, hexFloat(pt.Stalls))
+		assertHexFloatEqual(t, ctx+" stallSeconds", w.StallSecs, hexFloat(pt.StallSeconds))
+		assertHexFloatEqual(t, ctx+" startupSeconds", w.StartupSecs, hexFloat(pt.StartupSecs))
+	}
+}
+
 // TestSeedMatrixGoldenParallelAgrees reruns a slice of the grid with a
 // multi-worker pool and checks it against the same golden file, tying the
 // golden pins to the parallel path too.

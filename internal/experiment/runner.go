@@ -9,6 +9,7 @@ import (
 	"p2psplice/internal/core"
 	"p2psplice/internal/metrics"
 	"p2psplice/internal/simpeer"
+	"p2psplice/internal/trace"
 )
 
 // This file is the parallel experiment runner. Every figure decomposes into
@@ -41,16 +42,27 @@ type cellOut struct {
 	startupSecs float64
 }
 
-// runCell executes one emulated swarm.
+// runCell executes one emulated swarm, writing trace artifacts when
+// Params.TraceDir is set.
 func (p Params) runCell(c cell) (cellOut, error) {
 	cfg := p.swarmConfig(c.bandwidthKB, c.policy, p.BaseSeed+int64(c.run))
 	if c.mod != nil {
 		c.mod(&cfg)
 	}
+	var buf *trace.Buffer
+	if p.TraceDir != "" {
+		buf = trace.NewBuffer()
+		cfg.Tracer = trace.New(buf)
+	}
 	res, err := simpeer.RunSwarm(cfg, c.segs)
 	if err != nil {
 		return cellOut{}, fmt.Errorf("experiment: %s: bandwidth %d kB/s (run %d): %w",
 			c.label, c.bandwidthKB, c.run, err)
+	}
+	if buf != nil {
+		if err := writeCellTrace(p.TraceDir, c, buf.Events()); err != nil {
+			return cellOut{}, err
+		}
 	}
 	sum := res.Summary()
 	return cellOut{

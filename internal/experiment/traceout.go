@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p2psplice/internal/trace"
+)
+
+// This file writes per-cell trace artifacts when Params.TraceDir is set.
+// Tracing is observational only: the cell's swarm runs with a buffering
+// tracer whose listeners never perturb the simulation, so figure values are
+// bit-identical with TraceDir set or empty (TestTraceDirInert enforces it).
+
+// sanitizeLabel turns a cell label like "Figure 2/gop" into a filename stem
+// like "figure-2-gop".
+func sanitizeLabel(label string) string {
+	var b strings.Builder
+	lastDash := true // swallow leading separators
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// cellArtifactStem names one cell's artifact family inside TraceDir.
+func cellArtifactStem(c cell) string {
+	return fmt.Sprintf("%s-bw%d-run%d", sanitizeLabel(c.label), c.bandwidthKB, c.run)
+}
+
+// writeCellTrace renders one traced cell's three artifacts: the raw JSONL
+// event log, a Chrome trace-event file (load in chrome://tracing or
+// Perfetto), and the per-peer stall timeline.
+func writeCellTrace(dir string, c cell, events []trace.Event) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: trace dir: %w", err)
+	}
+	stem := filepath.Join(dir, cellArtifactStem(c))
+
+	write := func(path string, render func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("experiment: trace artifact: %w", err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiment: trace artifact %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiment: trace artifact %s: %w", path, err)
+		}
+		return nil
+	}
+
+	if err := write(stem+".jsonl", func(f *os.File) error {
+		return trace.WriteJSONL(f, events)
+	}); err != nil {
+		return err
+	}
+	if err := write(stem+".trace.json", func(f *os.File) error {
+		return trace.WriteChromeTrace(f, events)
+	}); err != nil {
+		return err
+	}
+	return write(stem+".timeline.json", func(f *os.File) error {
+		return trace.WriteTimeline(f, trace.BuildTimeline(events))
+	})
+}

@@ -20,6 +20,7 @@ const (
 // Flow is one TCP-like transfer.
 type Flow struct {
 	net  *Network
+	id   int // network-unique, assigned in creation order
 	src  NodeID
 	dst  NodeID
 	size int64
@@ -81,6 +82,7 @@ func (n *Network) StartTransfer(src, dst NodeID, size int64, opts TransferOption
 	}
 	f := &Flow{
 		net:        n,
+		id:         n.flowSeq,
 		src:        src,
 		dst:        dst,
 		size:       size,
@@ -102,6 +104,7 @@ func (n *Network) StartTransfer(src, dst NodeID, size int64, opts TransferOption
 		float64(n.nodes[dst].cfg.DownlinkBytesPerSec))
 	f.rampCap = float64(n.cfg.InitCwndSegments*n.cfg.MSS) / rtt.Seconds()
 
+	n.flowSeq++
 	n.flows = append(n.flows, f)
 
 	setupDelay := time.Duration(0)
@@ -114,8 +117,16 @@ func (n *Network) StartTransfer(src, dst NodeID, size int64, opts TransferOption
 	}
 	f.state = flowSetup
 	f.setup = n.eng.Schedule(setupDelay, f.activate)
+	n.emitFlow(f, FlowEventSetup)
 	return f, nil
 }
+
+// ID returns the network-unique flow identifier (creation order).
+func (f *Flow) ID() int { return f.id }
+
+// Frozen reports whether the flow is currently in an RTO freeze. It is a
+// pure read: unlike Remaining, it does not advance the flow's progress.
+func (f *Flow) Frozen() bool { return f.frozen }
 
 // Src returns the uploading node.
 func (f *Flow) Src() NodeID { return f.src }
@@ -171,6 +182,7 @@ func (f *Flow) Cancel() {
 	if wasActive {
 		f.net.reallocate()
 	}
+	f.net.emitFlow(f, FlowEventCancel)
 }
 
 // activate moves the flow from connection setup to data transfer.
@@ -187,6 +199,7 @@ func (f *Flow) activate() {
 	f.scheduleRamp()
 	f.scheduleHazard()
 	f.net.reallocate()
+	f.net.emitFlow(f, FlowEventActivate)
 }
 
 // scheduleHazard arranges the next RTO check, one second out. At each check
@@ -231,8 +244,10 @@ func (f *Flow) scheduleHazard() {
 			}
 			f.frozen = false
 			f.net.reallocate()
+			f.net.emitFlow(f, FlowEventUnfreeze)
 		})
 		f.net.reallocate()
+		f.net.emitFlow(f, FlowEventFreeze)
 	})
 }
 
@@ -248,6 +263,7 @@ func (f *Flow) scheduleRamp() {
 		f.rampCap *= 2
 		f.scheduleRamp()
 		f.net.reallocate()
+		f.net.emitFlow(f, FlowEventRamp)
 	})
 }
 
@@ -273,6 +289,7 @@ func (f *Flow) complete() {
 	f.freezeTimer.Cancel()
 	f.net.detach(f)
 	f.net.reallocate()
+	f.net.emitFlow(f, FlowEventComplete)
 	if f.onComplete != nil {
 		f.onComplete(f)
 	}

@@ -165,10 +165,12 @@ func (nc NodeConfig) Validate() error {
 // Network is the emulated star network. It is single-threaded: all methods
 // must be called from the owning sim.Engine's event context (or before Run).
 type Network struct {
-	eng   *sim.Engine
-	cfg   Config
-	nodes []*node
-	flows []*Flow // active flows in creation order (deterministic iteration)
+	eng     *sim.Engine
+	cfg     Config
+	nodes   []*node
+	flows   []*Flow // active flows in creation order (deterministic iteration)
+	flowSeq int     // next flow ID
+	onFlow  func(FlowEvent)
 }
 
 type node struct {

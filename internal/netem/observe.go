@@ -1,0 +1,94 @@
+package netem
+
+import (
+	"math"
+	"time"
+)
+
+// FlowEventKind classifies a flow lifecycle event.
+type FlowEventKind uint8
+
+const (
+	// FlowEventSetup fires when a transfer is created (handshake begins).
+	FlowEventSetup FlowEventKind = iota
+	// FlowEventActivate fires when the first payload byte can move.
+	FlowEventActivate
+	// FlowEventFreeze fires when an RTO freeze stops the flow.
+	FlowEventFreeze
+	// FlowEventUnfreeze fires when an RTO freeze ends.
+	FlowEventUnfreeze
+	// FlowEventRamp fires at each slow-start doubling.
+	FlowEventRamp
+	// FlowEventComplete fires when the last byte is delivered.
+	FlowEventComplete
+	// FlowEventCancel fires when the flow is aborted.
+	FlowEventCancel
+)
+
+// String returns a short event-kind name.
+func (k FlowEventKind) String() string {
+	switch k {
+	case FlowEventSetup:
+		return "setup"
+	case FlowEventActivate:
+		return "activate"
+	case FlowEventFreeze:
+		return "freeze"
+	case FlowEventUnfreeze:
+		return "unfreeze"
+	case FlowEventRamp:
+		return "ramp"
+	case FlowEventComplete:
+		return "complete"
+	case FlowEventCancel:
+		return "cancel"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowEvent is one flow lifecycle notification, delivered synchronously
+// from the engine's event context.
+type FlowEvent struct {
+	At   time.Duration
+	Kind FlowEventKind
+	// Flow is the network-unique flow ID (creation order).
+	Flow int
+	Src  NodeID
+	Dst  NodeID
+	Size int64
+	// Rate is the allocated rate in bytes/s at the time of the event.
+	Rate float64
+	// Remaining is the unsent byte count, or -1 for unbounded flows.
+	Remaining int64
+}
+
+// SetFlowObserver registers fn to receive every flow lifecycle event.
+// The observer is a pure listener for instrumentation: it runs after the
+// state change (and any reallocation) is applied and must not start,
+// cancel, or otherwise mutate flows or the engine, so that runs are
+// identical with and without it. Pass nil to remove the observer.
+func (n *Network) SetFlowObserver(fn func(FlowEvent)) { n.onFlow = fn }
+
+// emitFlow notifies the observer, if any. It reads flow state without
+// advancing it (advance mutates remaining, which would make tracing
+// non-inert).
+func (n *Network) emitFlow(f *Flow, kind FlowEventKind) {
+	if n.onFlow == nil {
+		return
+	}
+	remaining := int64(-1)
+	if !math.IsInf(f.remaining, 1) {
+		remaining = int64(math.Ceil(f.remaining))
+	}
+	n.onFlow(FlowEvent{
+		At:        n.eng.Now(),
+		Kind:      kind,
+		Flow:      f.id,
+		Src:       f.src,
+		Dst:       f.dst,
+		Size:      f.size,
+		Rate:      f.rate,
+		Remaining: remaining,
+	})
+}

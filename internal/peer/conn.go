@@ -94,6 +94,7 @@ func (n *Node) dropConn(c *conn, err error) {
 	}
 	for _, d := range orphaned {
 		delete(n.active, d.index)
+		n.est.Finish(n.now())
 	}
 	n.mu.Unlock()
 	if unchoke != nil {
@@ -289,6 +290,7 @@ func (n *Node) abandonDownloadsOn(c *conn) {
 	}
 	for _, idx := range orphaned {
 		delete(n.active, idx)
+		n.est.Finish(n.now())
 	}
 	n.mu.Unlock()
 	if len(orphaned) > 0 {

@@ -3,6 +3,7 @@ package peer
 import (
 	"time"
 
+	"p2psplice/internal/trace"
 	"p2psplice/internal/wire"
 )
 
@@ -30,23 +31,27 @@ func (n *Node) schedule() {
 		idx int
 	}
 	var launches []request
+	var target, activeAfter int
 
 	n.mu.Lock()
 	if !n.closed && !n.store.Complete() {
-		target := n.poolTargetLocked()
-		// The pool is the next `target` missing segments; request each one
-		// that some connected peer can serve.
-		idx := 0
-		scanned := 0
-		for ; idx < n.store.Segments() && len(n.active)+len(launches) < target && scanned < target; idx++ {
+		target = n.poolTargetLocked()
+		// Fill the pool with the first `target` missing segments some
+		// connected peer can serve. Segments already in flight or currently
+		// unservable (choked or absent sources) are skipped without
+		// consuming pool budget: an earlier version capped the scan at
+		// `target` considered segments, so a choked segment at the front of
+		// the window could exhaust the budget and leave the pool empty with
+		// servable segments just behind it — a scheduler-induced stall. (It
+		// also counted each launch twice, in n.active and in launches,
+		// halving the effective pool.)
+		for idx := 0; idx < n.store.Segments() && len(n.active) < target; idx++ {
 			if n.store.Have(idx) {
 				continue
 			}
 			if _, inFlight := n.active[idx]; inFlight {
-				scanned++
 				continue
 			}
-			scanned++
 			if c := n.pickConnLocked(idx); c != nil {
 				size := int(n.manifest.Segments[idx].Bytes)
 				d := &segDownload{
@@ -60,11 +65,26 @@ func (n *Node) schedule() {
 				}
 				d.remaining = len(d.blocks)
 				n.active[idx] = d
+				n.est.Start(n.now())
 				launches = append(launches, request{c: c, idx: idx})
 			}
 		}
+		activeAfter = len(n.active)
 	}
 	n.mu.Unlock()
+
+	n.nm.schedCalls.Inc()
+	n.nm.launches.Add(int64(len(launches)))
+	n.nm.activeDowns.Set(int64(activeAfter))
+	if len(launches) > 0 {
+		n.emitAt(n.now(), trace.CatSched, trace.EvSchedule, -1,
+			trace.Int64("target", int64(target)),
+			trace.Int64("launched", int64(len(launches))),
+			trace.Int64("active", int64(activeAfter)))
+	} else if target > 0 && activeAfter == 0 {
+		n.emitAt(n.now(), trace.CatSched, trace.EvScheduleIdle, -1,
+			trace.Int64("target", int64(target)))
+	}
 
 	for _, l := range launches {
 		n.requestAllBlocks(l.c, l.idx)
@@ -139,6 +159,7 @@ func (n *Node) requestAllBlocks(c *conn, idx int) {
 func (n *Node) onPiece(c *conn, m *wire.Message) {
 	idx := int(m.Index)
 	var completed []byte
+	var elapsed time.Duration
 
 	n.mu.Lock()
 	d, ok := n.active[idx]
@@ -160,11 +181,15 @@ func (n *Node) onPiece(c *conn, m *wire.Message) {
 		copy(d.buf[off:], m.Data)
 		d.progress = time.Now()
 		n.stats.DownloadedBytes += int64(len(m.Data))
+		n.est.Deliver(int64(len(m.Data)))
+		n.nm.blocksRx.Inc()
+		n.nm.bytesRx.Add(int64(len(m.Data)))
 	}
 	if d.remaining == 0 {
 		delete(n.active, idx)
 		completed = d.buf
-		n.est.Observe(int64(d.size), time.Since(d.started))
+		elapsed = time.Since(d.started)
+		n.est.Finish(n.now())
 	}
 	n.mu.Unlock()
 
@@ -175,14 +200,32 @@ func (n *Node) onPiece(c *conn, m *wire.Message) {
 		// The remote served data that does not match the manifest: drop it
 		// and re-download from someone else.
 		n.cfg.Logf("peer %s: segment %d failed verification from %s: %v", n.peerID, idx, c.id, err)
+		n.mu.Lock()
+		n.stats.VerifyFailures++
+		n.mu.Unlock()
+		n.nm.verifyFails.Inc()
+		n.emitAt(n.now(), trace.CatSched, trace.EvVerifyFail, idx)
 		c.close()
 		n.schedule()
 		return
 	}
 	if err := n.store.Put(idx, completed); err != nil {
+		// The segment is already out of n.active, so without an immediate
+		// reschedule it would sit undownloaded until some unrelated event
+		// (or the watchdog) next ran the scheduler.
 		n.cfg.Logf("peer %s: store segment %d: %v", n.peerID, idx, err)
+		n.mu.Lock()
+		n.stats.StoreFailures++
+		n.mu.Unlock()
+		n.nm.storeFails.Inc()
+		n.emitAt(n.now(), trace.CatSched, trace.EvStoreFail, idx)
+		n.schedule()
 		return
 	}
+	n.nm.segsDone.Inc()
+	n.emitAt(n.now(), trace.CatSched, trace.EvSegComplete, idx,
+		trace.Int64("bytes", int64(d.size)),
+		trace.Int64("elapsed_us", elapsed.Microseconds()))
 	n.mu.Lock()
 	if n.play != nil {
 		// Errors are impossible: idx was validated against the store size.
@@ -206,12 +249,22 @@ func (n *Node) expireStalled() {
 	for idx, d := range n.active {
 		if time.Since(d.progress) > n.cfg.DownloadTimeout {
 			delete(n.active, idx)
+			n.est.Finish(n.now())
+			n.stats.ExpiredDownloads++
 			stalled = append(stalled, d)
 		}
 	}
 	n.mu.Unlock()
 	for _, d := range stalled {
 		n.cfg.Logf("peer %s: segment %d timed out on %s", n.peerID, d.index, d.conn.id)
+		n.nm.expired.Inc()
+		n.emitAt(n.now(), trace.CatSched, trace.EvTimeout, d.index)
 		d.conn.close()
+	}
+	if len(stalled) > 0 {
+		// close() on an already-dead conn is a no-op (its dropConn ran long
+		// ago), so the expired segments would otherwise stay unscheduled
+		// until something else happened to run the scheduler.
+		n.schedule()
 	}
 }

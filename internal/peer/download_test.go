@@ -1,0 +1,275 @@
+package peer
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"p2psplice/internal/container"
+	"p2psplice/internal/core"
+	"p2psplice/internal/trace"
+	"p2psplice/internal/wire"
+)
+
+// newIdleLeecher builds a leecher with no live connections: the manifest
+// is published to a tracker nobody else joined, so the node's connection
+// set is entirely under the test's control.
+func newIdleLeecher(t *testing.T, m *container.Manifest, cfg Config) *Node {
+	t.Helper()
+	trk := newTracker(t)
+	ih, err := trk.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Join(trk, ih, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// addFakeConn registers a hand-built connection whose remote end only
+// drains what the node sends, so the test controls exactly which
+// segments appear servable and whether the remote has choked us.
+func addFakeConn(t *testing.T, n *Node, id byte, have []bool, choked bool) *conn {
+	t.Helper()
+	server, client := net.Pipe()
+	t.Cleanup(func() { server.Close(); client.Close() })
+	go io.Copy(io.Discard, client) //nolint — drains pipelined requests
+	var pid wire.PeerID
+	pid[0] = id
+	c := &conn{
+		node:   n,
+		id:     pid,
+		raw:    server,
+		have:   append([]bool(nil), have...),
+		choked: choked,
+	}
+	n.mu.Lock()
+	n.conns[pid] = c
+	n.mu.Unlock()
+	return c
+}
+
+func activeIndices(n *Node) map[int]*conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int]*conn, len(n.active))
+	for idx, d := range n.active {
+		out[idx] = d.conn
+	}
+	return out
+}
+
+// Regression test for the scheduler scan budget: with a choked peer
+// holding the front of the pool window, the scheduler must skip past it
+// and launch the servable segments behind it. The pre-fix scheduler
+// budgeted its scan at `target` considered segments, so the two choked
+// front segments exhausted the budget and nothing launched at all.
+func TestScheduleSkipsChokedFrontOfWindow(t *testing.T) {
+	m, _ := testSwarmData(t, 8*time.Second, 2*time.Second)
+	if len(m.Segments) < 4 {
+		t.Fatalf("need at least 4 segments, got %d", len(m.Segments))
+	}
+	cfg := fastConfig()
+	cfg.Policy = core.FixedPool{K: 2}
+	n := newIdleLeecher(t, m, cfg)
+
+	segs := len(m.Segments)
+	frontOnly := make([]bool, segs)
+	frontOnly[0], frontOnly[1] = true, true
+	rest := make([]bool, segs)
+	for i := 2; i < segs; i++ {
+		rest[i] = true
+	}
+	addFakeConn(t, n, 'a', frontOnly, true) // holds 0,1 but choked us
+	addFakeConn(t, n, 'b', rest, false)
+
+	n.schedule()
+
+	act := activeIndices(n)
+	if len(act) != 2 {
+		t.Fatalf("scheduler launched %d downloads (%v), want 2: the choked "+
+			"front of the window must not consume the scan budget", len(act), act)
+	}
+	for _, idx := range []int{2, 3} {
+		if _, ok := act[idx]; !ok {
+			t.Fatalf("segment %d not scheduled; active = %v", idx, act)
+		}
+	}
+}
+
+// failPutStore rejects the first Put so the store-failure path runs, then
+// behaves normally.
+type failPutStore struct {
+	SegmentStore
+	failed bool
+}
+
+func (s *failPutStore) Put(i int, blob []byte) error {
+	if !s.failed {
+		s.failed = true
+		return errors.New("induced store failure")
+	}
+	return s.SegmentStore.Put(i, blob)
+}
+
+// injectDownload registers an in-flight segment download as the scheduler
+// would, with controllable progress freshness.
+func injectDownload(n *Node, c *conn, idx, size int, progress time.Time) {
+	d := &segDownload{
+		index:    idx,
+		size:     size,
+		conn:     c,
+		buf:      make([]byte, size),
+		blocks:   make([]bool, wire.BlockCount(int64(size), n.cfg.BlockLen)),
+		started:  progress,
+		progress: progress,
+	}
+	d.remaining = len(d.blocks)
+	n.mu.Lock()
+	n.active[idx] = d
+	n.est.Start(n.now())
+	n.mu.Unlock()
+}
+
+// feedSegment delivers blob to the node as wire pieces on c.
+func feedSegment(n *Node, c *conn, idx int, blob []byte) {
+	for off := 0; off < len(blob); off += n.cfg.BlockLen {
+		end := off + n.cfg.BlockLen
+		if end > len(blob) {
+			end = len(blob)
+		}
+		n.onPiece(c, &wire.Message{
+			Type:   wire.MsgPiece,
+			Index:  uint32(idx),
+			Offset: uint32(off),
+			Data:   blob[off:end],
+		})
+	}
+}
+
+// Regression test for the store-failure path: when store.Put rejects a
+// verified segment, the segment is already out of the in-flight set, so
+// the node must reschedule it immediately. Pre-fix it just logged and
+// returned, leaving the segment unpooled until an unrelated event.
+func TestStoreFailureReschedulesImmediately(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	store, err := NewStore(len(m.Segments))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Policy = core.FixedPool{K: 1}
+	cfg.Store = &failPutStore{SegmentStore: store}
+	n := newIdleLeecher(t, m, cfg)
+
+	all := make([]bool, len(m.Segments))
+	for i := range all {
+		all[i] = true
+	}
+	ca := addFakeConn(t, n, 'a', all, false)
+	addFakeConn(t, n, 'b', all, false)
+
+	injectDownload(n, ca, 0, len(blobs[0]), time.Now())
+	feedSegment(n, ca, 0, blobs[0])
+
+	// The assertion runs synchronously after onPiece: the watchdog (1s
+	// cadence) cannot have rescued an unrescheduled segment yet.
+	act := activeIndices(n)
+	if _, ok := act[0]; !ok {
+		t.Fatalf("segment 0 not rescheduled after store failure; active = %v", act)
+	}
+	if got := n.Stats().StoreFailures; got != 1 {
+		t.Fatalf("StoreFailures = %d, want 1", got)
+	}
+}
+
+// Regression test for expireStalled: expiring a download whose connection
+// is already dead must reschedule directly. Pre-fix it relied on
+// conn.close() → dropConn for the reschedule, a no-op on an
+// already-closed connection.
+func TestExpireStalledReschedulesOnLiveConn(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	cfg := fastConfig()
+	cfg.Policy = core.FixedPool{K: 1}
+	cfg.DownloadTimeout = 50 * time.Millisecond
+	n := newIdleLeecher(t, m, cfg)
+
+	none := make([]bool, len(m.Segments))
+	all := make([]bool, len(m.Segments))
+	for i := range all {
+		all[i] = true
+	}
+	// The stalled download sits on a connection that no longer advertises
+	// anything and is already closed; only conn b can serve the retry.
+	ca := addFakeConn(t, n, 'a', none, false)
+	cb := addFakeConn(t, n, 'b', all, false)
+	ca.close()
+
+	injectDownload(n, ca, 0, len(blobs[0]), time.Now().Add(-time.Second))
+	n.expireStalled()
+
+	act := activeIndices(n)
+	got, ok := act[0]
+	if !ok {
+		t.Fatalf("segment 0 not rescheduled after expiry; active = %v", act)
+	}
+	if got != cb {
+		t.Fatalf("segment 0 rescheduled on %s, want the live holder %s", got.id, cb.id)
+	}
+	if stats := n.Stats(); stats.ExpiredDownloads != 1 {
+		t.Fatalf("ExpiredDownloads = %d, want 1", stats.ExpiredDownloads)
+	}
+}
+
+// A traced, metered leecher that completes a real swarm download reports
+// schedule/completion events and non-zero counters.
+func TestNodeTraceAndMetrics(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	trk := newTracker(t)
+	seeder, err := Seed(trk, m, blobs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seeder.Close()
+
+	buf := trace.NewBuffer()
+	reg := trace.NewRegistry()
+	cfg := fastConfig()
+	cfg.Trace = trace.New(buf)
+	cfg.Metrics = reg
+	l, err := Join(trk, seeder.InfoHash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	deadline := time.After(30 * time.Second)
+	select {
+	case <-l.Done():
+	case <-deadline:
+		t.Fatal("download did not complete")
+	}
+
+	names := map[string]int{}
+	for _, ev := range buf.Events() {
+		names[ev.Name]++
+	}
+	if names[trace.EvSchedule] == 0 {
+		t.Fatalf("no %s events: %v", trace.EvSchedule, names)
+	}
+	if names[trace.EvSegComplete] != len(m.Segments) {
+		t.Fatalf("%d %s events for %d segments: %v",
+			names[trace.EvSegComplete], trace.EvSegComplete, len(m.Segments), names)
+	}
+	if got := reg.Counter("segments_done").Value(); got != int64(len(m.Segments)) {
+		t.Fatalf("segments_done = %d, want %d", got, len(m.Segments))
+	}
+	if got := reg.Counter("bytes_rx").Value(); got <= 0 {
+		t.Fatalf("bytes_rx = %d, want > 0", got)
+	}
+}

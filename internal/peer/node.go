@@ -12,6 +12,7 @@ import (
 	"p2psplice/internal/core"
 	"p2psplice/internal/player"
 	"p2psplice/internal/shaper"
+	"p2psplice/internal/trace"
 	"p2psplice/internal/tracker"
 	"p2psplice/internal/wire"
 )
@@ -49,6 +50,12 @@ type Config struct {
 	DialTimeout time.Duration
 	// Logf receives debug logs. Nil disables logging.
 	Logf func(format string, args ...any)
+	// Trace receives structured events (schedule decisions, piece and
+	// verification outcomes, playback transitions with attributed stall
+	// causes). Nil disables tracing at the cost of one nil check per event.
+	Trace *trace.Tracer
+	// Metrics receives the node's counters and gauges. Nil disables them.
+	Metrics *trace.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +98,15 @@ type Stats struct {
 	UploadedBytes   int64
 	SegmentsHeld    int
 	Connections     int
+	// VerifyFailures counts completed segments that failed manifest
+	// verification and were re-downloaded.
+	VerifyFailures int64
+	// StoreFailures counts completed segments the store rejected; each one
+	// is rescheduled.
+	StoreFailures int64
+	// ExpiredDownloads counts in-flight downloads abandoned by the
+	// progress watchdog and retried elsewhere.
+	ExpiredDownloads int64
 }
 
 // Node is one swarm member (seeder or leecher).
@@ -106,11 +122,14 @@ type Node struct {
 	ln      net.Listener
 	started time.Time // playback clock origin (leechers)
 
+	tr *trace.Tracer // immutable after construction; nil-safe
+	nm nodeMetrics   // immutable after construction; handles are no-ops without a registry
+
 	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters and closed
 	conns         map[wire.PeerID]*conn
 	active        map[int]*segDownload // in-flight segment downloads
 	play          *player.Player       // nil for seeders
-	est           *core.BandwidthEstimator
+	est           *core.AggregateMeter
 	stats         Stats
 	servingConns  int     // occupied upload slots
 	chokedWaiters []*conn // FIFO of choked requesters awaiting a slot
@@ -219,7 +238,11 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 	if err != nil {
 		return nil, err
 	}
-	est, err := core.NewBandwidthEstimator(core.DefaultEWMAAlpha)
+	// The pool-size formula needs the *aggregate* download bandwidth, so
+	// the node meters delivered bytes across all concurrent transfers
+	// rather than observing each segment with its own elapsed time (which
+	// converges to B/k under k-way pooling).
+	est, err := core.NewAggregateMeter(core.DefaultEWMAAlpha)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +281,8 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		store:     store,
 		seeder:    seeder,
 		started:   time.Now(),
+		tr:        cfg.Trace,
+		nm:        newNodeMetrics(cfg.Metrics),
 		conns:     make(map[wire.PeerID]*conn),
 		active:    make(map[int]*segDownload),
 		play:      play,
@@ -265,6 +290,12 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		completeC: make(chan struct{}),
 		ctx:       ctx,
 		cancel:    cancel,
+	}
+	if play != nil {
+		// Attached after the resume registrations above, so only post-join
+		// transitions are traced. Every later player call runs under n.mu,
+		// which the observer therefore inherits.
+		play.SetObserver(func(t player.Transition) { n.playbackTransitionLocked(t) })
 	}
 	if store.Complete() {
 		n.completeOnce.Do(func() { close(n.completeC) })

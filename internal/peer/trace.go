@@ -1,0 +1,108 @@
+package peer
+
+import (
+	"time"
+
+	"p2psplice/internal/player"
+	"p2psplice/internal/trace"
+)
+
+// nodeMetrics bundles the node's counter/gauge handles. A nil
+// Config.Metrics registry hands out no-op handles, so instrumented call
+// sites never branch on whether metrics are enabled.
+type nodeMetrics struct {
+	schedCalls  trace.Counter
+	launches    trace.Counter
+	blocksRx    trace.Counter
+	bytesRx     trace.Counter
+	segsDone    trace.Counter
+	verifyFails trace.Counter
+	storeFails  trace.Counter
+	expired     trace.Counter
+	stalls      trace.Counter
+	activeDowns trace.Gauge
+}
+
+func newNodeMetrics(r *trace.Registry) nodeMetrics {
+	return nodeMetrics{
+		schedCalls:  r.Counter("sched_calls"),
+		launches:    r.Counter("sched_launches"),
+		blocksRx:    r.Counter("blocks_rx"),
+		bytesRx:     r.Counter("bytes_rx"),
+		segsDone:    r.Counter("segments_done"),
+		verifyFails: r.Counter("verify_failures"),
+		storeFails:  r.Counter("store_failures"),
+		expired:     r.Counter("downloads_expired"),
+		stalls:      r.Counter("stalls"),
+		activeDowns: r.Gauge("active_downloads"),
+	}
+}
+
+// emitAt sends one trace event at the given playback-clock time. A node
+// without a tracer pays only this nil check.
+func (n *Node) emitAt(at time.Duration, cat, name string, seg int, args ...trace.Arg) {
+	if !n.tr.Enabled() {
+		return
+	}
+	n.tr.Emit(trace.Event{At: at, Peer: -1, Seg: seg, Cat: cat, Name: name, Args: args})
+}
+
+// playbackTransitionLocked receives player state changes. It always runs
+// with n.mu held: every player call on a published node happens under the
+// node lock, and the observer fires synchronously from those calls.
+func (n *Node) playbackTransitionLocked(t player.Transition) {
+	switch {
+	case t.From == player.StateWaiting && t.To == player.StatePlaying:
+		n.emitAt(t.At, trace.CatPlayer, trace.EvStartup, -1,
+			trace.Int64("startup_us", t.At.Microseconds()))
+	case t.To == player.StateStalled:
+		n.nm.stalls.Inc()
+		cause := n.stallCauseLocked()
+		n.emitAt(t.At, trace.CatPlayer, trace.EvStallBegin, -1)
+		n.emitAt(t.At, trace.CatPlayer, trace.EvStallCause, -1,
+			trace.Str("cause", cause),
+			trace.Int64("inflight", int64(len(n.active))))
+	case t.From == player.StateStalled && t.To == player.StatePlaying:
+		n.emitAt(t.At, trace.CatPlayer, trace.EvStallEnd, -1)
+	case t.To == player.StateFinished:
+		n.emitAt(t.At, trace.CatPlayer, trace.EvFinished, -1)
+	}
+}
+
+// stallCauseLocked attributes a beginning stall to its proximate cause by
+// inspecting the download pool and connection set (n.mu held).
+func (n *Node) stallCauseLocked() string {
+	if len(n.active) > 0 {
+		// Downloads are in flight but did not outrun the playhead.
+		return trace.CauseSlowFlow
+	}
+	next := -1
+	for i := 0; i < n.store.Segments(); i++ {
+		if !n.store.Have(i) {
+			next = i
+			break
+		}
+	}
+	if next < 0 {
+		return trace.CauseSlowFlow // store complete; playhead will catch up
+	}
+	holders, choked := 0, 0
+	for _, c := range n.conns {
+		if c.remoteHas(next) {
+			holders++
+			if c.remoteChoked() {
+				choked++
+			}
+		}
+	}
+	switch {
+	case holders == 0:
+		return trace.CauseNoSource
+	case choked == holders:
+		return trace.CauseChokedSources
+	default:
+		// A willing source exists yet nothing is in flight: the scheduler
+		// left the pool empty (the failure mode of the old scan budget).
+		return trace.CauseEmptyPool
+	}
+}

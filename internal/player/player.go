@@ -94,6 +94,16 @@ type Metrics struct {
 	FinishedAt time.Duration
 }
 
+// Transition is one playback state change, reported to an observer.
+// At is the model time at which the transition took effect — for
+// Playing→Stalled that is the (possibly retroactive) moment the playhead
+// hit the frontier, not the later call that detected it.
+type Transition struct {
+	From State
+	To   State
+	At   time.Duration
+}
+
 // Player tracks playback state. It is not safe for concurrent use; the real
 // stack serializes access, and the emulation is single-threaded.
 type Player struct {
@@ -101,6 +111,7 @@ type Player struct {
 	prefix    []time.Duration // prefix[i] = total duration of segments [0, i)
 	completed []bool
 	threshold int
+	observer  func(Transition)
 
 	state      State
 	resume     time.Duration // rebuffering depth before a stall ends
@@ -146,6 +157,23 @@ func New(cfg Config) (*Player, error) {
 	return p, nil
 }
 
+// SetObserver registers fn to receive every state transition. The
+// observer is a pure listener: it runs after the transition is applied
+// and must not call back into the Player. Transitions detected lazily
+// (stalls are noticed by the next query after the playhead hit the
+// frontier) are reported with their retroactive model time. Pass nil to
+// remove the observer.
+func (p *Player) SetObserver(fn func(Transition)) { p.observer = fn }
+
+// setState applies a state change and notifies the observer.
+func (p *Player) setState(to State, at time.Duration) {
+	from := p.state
+	p.state = to
+	if p.observer != nil && from != to {
+		p.observer(Transition{From: from, To: to, At: at})
+	}
+}
+
 // SegmentCount returns the number of segments in the clip.
 func (p *Player) SegmentCount() int { return len(p.durations) }
 
@@ -160,13 +188,13 @@ func (p *Player) Start(now time.Duration) error {
 	if p.state != StateIdle {
 		return fmt.Errorf("player: Start called in state %v", p.state)
 	}
-	p.state = StateWaiting
+	p.setState(StateWaiting, now)
 	p.startedAt = now
 	p.last = now
 	// Segments may have arrived before the viewer pressed play.
 	if p.contiguous >= p.threshold {
 		p.startup = 0
-		p.state = StatePlaying
+		p.setState(StatePlaying, now)
 	}
 	return nil
 }
@@ -184,11 +212,11 @@ func (p *Player) advanceTo(now time.Duration) {
 		case newPos >= clip && f >= clip:
 			p.finishedAt = p.last + (clip - p.pos)
 			p.pos = clip
-			p.state = StateFinished
+			p.setState(StateFinished, p.finishedAt)
 		case newPos >= f:
 			p.stallStart = p.last + (f - p.pos)
 			p.pos = f
-			p.state = StateStalled
+			p.setState(StateStalled, p.stallStart)
 		default:
 			p.pos = newPos
 		}
@@ -214,7 +242,7 @@ func (p *Player) OnSegmentComplete(idx int, now time.Duration) error {
 	case StateWaiting:
 		if p.contiguous >= p.threshold {
 			p.startup = now - p.startedAt
-			p.state = StatePlaying
+			p.setState(StatePlaying, now)
 		}
 	case StateStalled:
 		f := p.frontier()
@@ -223,7 +251,7 @@ func (p *Player) OnSegmentComplete(idx int, now time.Duration) error {
 			if now > p.stallStart {
 				p.stalls = append(p.stalls, Interval{Start: p.stallStart, End: now})
 			}
-			p.state = StatePlaying
+			p.setState(StatePlaying, now)
 		}
 	}
 	return nil

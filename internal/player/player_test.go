@@ -1,6 +1,7 @@
 package player
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -316,5 +317,74 @@ func TestAccessors(t *testing.T) {
 	}
 	if got := p.Position(sec(10)); got != 0 {
 		t.Errorf("idle Position = %v, want 0", got)
+	}
+}
+
+// TestObserverSeesTransitions drives a full lifecycle — startup, a stall
+// with a retroactive start, recovery, finish — and checks the observer
+// reports every transition exactly once, in order, with model times.
+func TestObserverSeesTransitions(t *testing.T) {
+	p := four(t)
+	var got []Transition
+	p.SetObserver(func(tr Transition) { got = append(got, tr) })
+
+	if err := p.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(0, sec(1)); err != nil { // startup at 1s
+		t.Fatal(err)
+	}
+	// Playhead hits the 4s frontier at t=5s; the stall is detected later,
+	// at the t=7s completion, but must be reported as starting at 5s.
+	if err := p.OnSegmentComplete(1, sec(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(2, sec(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSegmentComplete(3, sec(9)); err != nil {
+		t.Fatal(err)
+	}
+	p.Position(sec(60)) // drain to the end
+
+	want := []Transition{
+		{From: StateIdle, To: StateWaiting, At: 0},
+		{From: StateWaiting, To: StatePlaying, At: sec(1)},
+		{From: StatePlaying, To: StateStalled, At: sec(5)},
+		{From: StateStalled, To: StatePlaying, At: sec(7)},
+		// Played 4s at t=7s with 16s of clip: finish at 7+12 = 19s.
+		{From: StatePlaying, To: StateFinished, At: sec(19)},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d transitions %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestObserverIsInert: metrics with and without an observer attached are
+// identical — the observer is a pure listener.
+func TestObserverIsInert(t *testing.T) {
+	run := func(observe bool) Metrics {
+		p := four(t)
+		if observe {
+			p.SetObserver(func(Transition) {})
+		}
+		if err := p.Start(0); err != nil {
+			t.Fatal(err)
+		}
+		for i, at := range []float64{1, 7, 8, 9} {
+			if err := p.OnSegmentComplete(i, sec(at)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Metrics(sec(60))
+	}
+	plain, observed := run(false), run(true)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer changed metrics: %+v vs %+v", plain, observed)
 	}
 }

@@ -19,6 +19,7 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+	onFire func(at time.Duration)
 }
 
 // New returns an engine whose RNG is seeded with seed. The virtual clock
@@ -32,6 +33,14 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // RNG returns the engine's deterministic random source.
 func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// SetFireObserver registers fn to run after each event fires, with the
+// virtual time of that event. The observer is a pure listener for
+// instrumentation (event counting, trace heartbeats): it must not
+// schedule events, draw from the RNG, or otherwise feed back into the
+// simulation, so that runs are identical with and without it. Pass nil
+// to remove the observer.
+func (e *Engine) SetFireObserver(fn func(at time.Duration)) { e.onFire = fn }
 
 // Pending returns the number of scheduled (uncancelled) events.
 func (e *Engine) Pending() int {
@@ -95,6 +104,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		ev.fn()
+		if e.onFire != nil {
+			e.onFire(ev.at)
+		}
 		return true
 	}
 	return false
@@ -127,6 +139,9 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		heap.Pop(&e.events)
 		e.now = ev.at
 		ev.fn()
+		if e.onFire != nil {
+			e.onFire(ev.at)
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline

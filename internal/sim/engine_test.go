@@ -199,3 +199,40 @@ func TestQuickMonotoneClock(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The fire observer sees every fired event (and no cancelled ones), and
+// its presence changes nothing about execution.
+func TestFireObserverCountsFires(t *testing.T) {
+	run := func(observe bool) (fired int, times []time.Duration) {
+		e := New(11)
+		if observe {
+			e.SetFireObserver(func(at time.Duration) { fired++ })
+		}
+		var cancelled *Timer
+		for i := 0; i < 5; i++ {
+			d := time.Duration(i) * time.Millisecond
+			tm := e.Schedule(d, func() { times = append(times, e.Now()) })
+			if i == 3 {
+				cancelled = tm
+			}
+		}
+		cancelled.Cancel()
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return fired, times
+	}
+	fired, times := run(true)
+	if fired != 4 {
+		t.Fatalf("observer saw %d fires, want 4 (cancelled event must not count)", fired)
+	}
+	_, plain := run(false)
+	if len(plain) != len(times) {
+		t.Fatalf("observer changed execution: %v vs %v", plain, times)
+	}
+	for i := range plain {
+		if plain[i] != times[i] {
+			t.Fatalf("observer changed firing times: %v vs %v", plain, times)
+		}
+	}
+}

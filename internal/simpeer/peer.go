@@ -8,6 +8,7 @@ import (
 	"p2psplice/internal/core"
 	"p2psplice/internal/netem"
 	"p2psplice/internal/player"
+	"p2psplice/internal/trace"
 )
 
 // sortedKeys returns the map's keys in ascending order for deterministic
@@ -260,30 +261,49 @@ func (s *swarm) fill(p *peerState) {
 	if next == -1 {
 		return // everything downloaded or in flight
 	}
-	target := s.cfg.Policy.PoolSize(
-		s.bandwidth(p),
-		p.player.BufferedAhead(now),
-		s.segs[next].Bytes,
-	)
-	if len(p.inFlight) >= target {
+	b := s.bandwidth(p)
+	buffered := p.player.BufferedAhead(now)
+	segBytes := s.segs[next].Bytes
+	target := s.cfg.Policy.PoolSize(b, buffered, segBytes)
+	inFlightBefore := len(p.inFlight)
+	if inFlightBefore >= target {
 		return
 	}
 	// The pool is the next `target` wanted segments; request every one with
 	// an eligible source, skipping over segments that are momentarily
 	// sourceless so a fixed pool still pipelines.
 	blocked := false
+	launched := 0
 	for idx := next; idx < len(s.segs) && len(p.inFlight) < target; idx++ {
 		if !p.wanted(idx) {
 			continue
 		}
 		if src := s.pickSource(p, idx); src != nil {
 			s.startDownload(p, src, idx)
+			launched++
 		} else {
 			blocked = true
 		}
 	}
+	if s.cfg.Tracer.Enabled() {
+		flag := int64(0)
+		if blocked {
+			flag = 1
+		}
+		s.emit(p.id, next, trace.CatPool, trace.EvPoolFill,
+			trace.Int64("bandwidth", b),
+			trace.Int64("buffered_us", buffered.Microseconds()),
+			trace.Int64("seg_bytes", segBytes),
+			trace.Int64("target", int64(target)),
+			trace.Int64("inflight", int64(inFlightBefore)),
+			trace.Int64("launched", int64(launched)),
+			trace.Int64("blocked", flag))
+	}
 	if blocked && !p.retryPending {
 		p.retryPending = true
+		if s.cfg.Tracer.Enabled() {
+			s.emit(p.id, next, trace.CatPool, trace.EvSourceRetry)
+		}
 		s.eng.Schedule(sourceRetryDelay, func() {
 			p.retryPending = false
 			if !p.departed {
@@ -311,6 +331,11 @@ func (s *swarm) startDownload(p, src *peerState, idx int) {
 	}
 	p.inFlight[idx] = &download{flow: flow, src: src}
 	p.lastSrc = src
+	if s.cfg.Tracer.Enabled() {
+		s.emit(p.id, idx, trace.CatPool, trace.EvSourcePick,
+			trace.Int64("flow", int64(flow.ID())),
+			trace.Int64("src", int64(src.id)))
+	}
 }
 
 // onDownloadComplete handles a finished segment transfer.
@@ -322,12 +347,30 @@ func (s *swarm) onDownloadComplete(p, src *peerState, idx int, f *netem.Flow) {
 	}
 	src.uploads--
 	src.uploading[idx]--
+	// k counts the finishing flow too: it is this peer's concurrency while
+	// the segment was in transit.
+	k := int64(len(p.inFlight))
 	delete(p.inFlight, idx)
 	if p.departed {
 		return
 	}
 	now := s.eng.Now()
-	p.est.Observe(f.Size(), f.Elapsed())
+	// Eq. 1 wants the peer's aggregate download bandwidth B, but one flow
+	// of a k-way pool delivers only ~B/k: feeding per-flow throughput into
+	// the estimator made it converge to B/k, inflating the pool size and
+	// over-subscribing the access link. Scaling the observed bytes by the
+	// in-flight count recovers the aggregate rate — the emulation twin of
+	// the real stack's core.AggregateMeter.
+	if k < 1 {
+		k = 1
+	}
+	p.est.Observe(f.Size()*k, f.Elapsed())
+	if s.cfg.Tracer.Enabled() {
+		s.emit(p.id, idx, trace.CatPool, trace.EvSegComplete,
+			trace.Int64("bytes", f.Size()),
+			trace.Int64("elapsed_us", f.Elapsed().Microseconds()),
+			trace.Int64("src", int64(src.id)))
+	}
 	if !p.have[idx] {
 		p.have[idx] = true
 		p.haveCount++

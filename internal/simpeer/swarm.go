@@ -15,6 +15,7 @@ import (
 	"p2psplice/internal/player"
 	"p2psplice/internal/sim"
 	"p2psplice/internal/topology"
+	"p2psplice/internal/trace"
 )
 
 // SegmentMeta is what the swarm needs to know about each segment: its wire
@@ -153,6 +154,11 @@ type SwarmConfig struct {
 	MaxEvents int
 	// Trace dumps per-download decisions to stdout (debugging aid).
 	Trace bool
+	// Tracer receives structured events: flow lifecycles, pool-fill
+	// decisions with their live Equation-1 inputs, source picks, and
+	// playback transitions with attributed stall causes. Tracing is inert:
+	// the run is bit-identical with and without it. Nil disables.
+	Tracer *trace.Tracer
 	// ManifestBytes is the size of the swarm/clip metadata a joining peer
 	// fetches from the seeder before requesting segments (the paper: "each
 	// peer contacts the seeder and gets different information about the
@@ -249,6 +255,10 @@ func RunSwarm(cfg SwarmConfig, segs []SegmentMeta) (*Result, error) {
 	if err := eng.Run(maxEvents); err != nil {
 		return nil, fmt.Errorf("simpeer: %w", err)
 	}
+	if cfg.Tracer.Enabled() {
+		sw.emit(-1, -1, trace.CatSim, trace.EvSimSummary,
+			trace.Int64("events_fired", sw.eventsFired))
+	}
 
 	return sw.collect(), nil
 }
@@ -265,6 +275,11 @@ type swarm struct {
 	// cross holds background traffic flows; they are cancelled once every
 	// leecher has finished downloading so the event queue can drain.
 	cross []*netem.Flow
+	// nodeToPeer attributes netem flow events to peer IDs; populated only
+	// when tracing.
+	nodeToPeer map[netem.NodeID]int
+	// eventsFired counts engine events; maintained only when tracing.
+	eventsFired int64
 }
 
 // nodePlan resolves the per-node link parameters, either from the scalar
@@ -302,6 +317,13 @@ func (s *swarm) nodePlan() (seeder netem.NodeConfig, leechers, traffic []netem.N
 }
 
 func (s *swarm) setup() error {
+	if s.cfg.Tracer.Enabled() {
+		// Pure listeners: they observe firings and flow transitions without
+		// feeding anything back into the simulation.
+		s.nodeToPeer = make(map[netem.NodeID]int)
+		s.eng.SetFireObserver(func(time.Duration) { s.eventsFired++ })
+		s.net.SetFlowObserver(s.onFlowEvent)
+	}
 	seederNC, leecherNCs, trafficNCs, err := s.nodePlan()
 	if err != nil {
 		return err
@@ -309,6 +331,9 @@ func (s *swarm) setup() error {
 	seederNode, err := s.net.AddNode(seederNC)
 	if err != nil {
 		return err
+	}
+	if s.nodeToPeer != nil {
+		s.nodeToPeer[seederNode] = 0
 	}
 	seeder := &peerState{
 		id: 0, node: seederNode, isSeeder: true,
@@ -329,6 +354,9 @@ func (s *swarm) setup() error {
 		})
 		if err != nil {
 			return err
+		}
+		if s.nodeToPeer != nil {
+			s.nodeToPeer[cdnNode] = -1
 		}
 		cdn := &peerState{
 			id: -1, node: cdnNode, isSeeder: true, isCDN: true,
@@ -360,6 +388,9 @@ func (s *swarm) setup() error {
 		node, err := s.net.AddNode(nc)
 		if err != nil {
 			return err
+		}
+		if s.nodeToPeer != nil {
+			s.nodeToPeer[node] = i
 		}
 		pl, err := player.New(player.Config{
 			SegmentDurations: durations,
@@ -419,6 +450,9 @@ func (s *swarm) setup() error {
 // manifest from the seeder, and then downloading begins.
 func (s *swarm) join(p *peerState) {
 	p.joined = s.eng.Now()
+	if s.cfg.Tracer.Enabled() {
+		p.player.SetObserver(func(tr player.Transition) { s.onPlayerTransition(p, tr) })
+	}
 	if err := p.player.Start(s.eng.Now()); err != nil {
 		panic(fmt.Sprintf("simpeer: start player: %v", err)) // unreachable by construction
 	}

@@ -1,0 +1,113 @@
+package simpeer
+
+import (
+	"time"
+
+	"p2psplice/internal/netem"
+	"p2psplice/internal/player"
+	"p2psplice/internal/trace"
+)
+
+// This file is the emulation's trace glue: pure listeners translating
+// engine, netem, and player callbacks into trace events. Nothing here may
+// mutate swarm, flow, or player state, draw from the RNG, or schedule
+// events — the same run must be bit-identical with tracing on and off
+// (see DESIGN.md §8 and the TestTracingIsInert equivalence test).
+
+// emitAt sends one event with an explicit timestamp (player transitions
+// carry retroactive times).
+func (s *swarm) emitAt(at time.Duration, peer, seg int, cat, name string, args ...trace.Arg) {
+	s.cfg.Tracer.Emit(trace.Event{At: at, Peer: peer, Seg: seg, Cat: cat, Name: name, Args: args})
+}
+
+// emit sends one event stamped with the current virtual time.
+func (s *swarm) emit(peer, seg int, cat, name string, args ...trace.Arg) {
+	s.emitAt(s.eng.Now(), peer, seg, cat, name, args...)
+}
+
+// onFlowEvent translates netem flow lifecycle events, attributing each
+// flow to its downloading peer.
+func (s *swarm) onFlowEvent(ev netem.FlowEvent) {
+	var name string
+	switch ev.Kind {
+	case netem.FlowEventSetup:
+		name = trace.EvFlowSetup
+	case netem.FlowEventActivate:
+		name = trace.EvFlowActivate
+	case netem.FlowEventFreeze:
+		name = trace.EvFlowFreeze
+	case netem.FlowEventUnfreeze:
+		name = trace.EvFlowUnfreeze
+	case netem.FlowEventRamp:
+		name = trace.EvFlowRamp
+	case netem.FlowEventComplete:
+		name = trace.EvFlowComplete
+	case netem.FlowEventCancel:
+		name = trace.EvFlowCancel
+	default:
+		return
+	}
+	peer := -1
+	if id, ok := s.nodeToPeer[ev.Dst]; ok {
+		peer = id
+	}
+	args := []trace.Arg{
+		trace.Int64("flow", int64(ev.Flow)),
+		trace.Float64("rate", ev.Rate),
+		trace.Int64("remaining", ev.Remaining),
+	}
+	if src, ok := s.nodeToPeer[ev.Src]; ok {
+		args = append(args, trace.Int64("src", int64(src)))
+	}
+	s.emitAt(ev.At, peer, -1, trace.CatFlow, name, args...)
+}
+
+// onPlayerTransition translates playback state changes, attributing every
+// beginning stall to its proximate cause.
+func (s *swarm) onPlayerTransition(p *peerState, tr player.Transition) {
+	switch {
+	case tr.From == player.StateWaiting && tr.To == player.StatePlaying:
+		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStartup,
+			trace.Int64("startup_us", (tr.At-p.joined).Microseconds()))
+	case tr.To == player.StateStalled:
+		cause, inflight, frozen := s.classifyStall(p)
+		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallBegin)
+		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallCause,
+			trace.Str("cause", cause),
+			trace.Int64("inflight", int64(inflight)),
+			trace.Int64("frozen", int64(frozen)))
+	case tr.From == player.StateStalled && tr.To == player.StatePlaying:
+		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallEnd)
+	case tr.To == player.StateFinished:
+		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvFinished)
+	}
+}
+
+// classifyStall inspects the stalling peer's download pool with pure
+// reads only (in particular flow.Frozen, never flow.Remaining, which
+// advances flow progress).
+func (s *swarm) classifyStall(p *peerState) (cause string, inflight, frozen int) {
+	inflight = len(p.inFlight)
+	if inflight == 0 {
+		if next := s.nextWanted(p); next >= 0 && s.holderCount(next) == 0 {
+			return trace.CauseNoSource, 0, 0
+		}
+		if p.retryPending {
+			// Sources exist but none was eligible (upload slots full, relay
+			// threshold not crossed); the peer is waiting out a retry.
+			return trace.CauseChokedSources, 0, 0
+		}
+		// A source exists and no retry is pending: the scheduler simply
+		// left the pool empty.
+		return trace.CauseEmptyPool, 0, 0
+	}
+	for _, d := range p.inFlight {
+		if d.flow.Frozen() {
+			frozen++
+		}
+	}
+	if frozen > 0 {
+		return trace.CauseFrozenFlow, inflight, frozen
+	}
+	return trace.CauseSlowFlow, inflight, 0
+}

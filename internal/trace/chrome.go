@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// consumed by about:tracing and Perfetto). Each emulated/real peer maps
+// to a thread (tid) of one process, stalls and flows become duration
+// ("X") events, and everything else becomes a thread-scoped instant.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeArgs converts an Event's argument list. encoding/json emits map
+// keys sorted, so the output is deterministic.
+func chromeArgs(ev Event) map[string]any {
+	if len(ev.Args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(ev.Args))
+	for _, a := range ev.Args {
+		switch a.Kind {
+		case ArgInt:
+			m[a.Key] = a.Int
+		case ArgFloat:
+			m[a.Key] = a.Float
+		case ArgStr:
+			m[a.Key] = a.Str
+		}
+	}
+	return m
+}
+
+// WriteChromeTrace renders events as a Chrome trace-event JSON object.
+// Stall begin/end pairs per peer and flow activate/complete (or cancel)
+// pairs per flow id become duration events; all other records become
+// instants on the emitting peer's timeline.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	peers := map[int]bool{}
+	type openStall struct {
+		ts    int64
+		cause string
+		args  map[string]any
+	}
+	type openFlow struct {
+		ts   int64
+		peer int
+		args map[string]any
+	}
+	stalls := map[int]*openStall{}
+	flows := map[int64]*openFlow{}
+
+	for _, ev := range events {
+		if ev.Peer >= 0 {
+			peers[ev.Peer] = true
+		}
+		ts := ev.At.Microseconds()
+		switch ev.Name {
+		case EvStallBegin:
+			stalls[ev.Peer] = &openStall{ts: ts, args: chromeArgs(ev)}
+			continue
+		case EvStallCause:
+			if s := stalls[ev.Peer]; s != nil {
+				s.cause = ev.ArgStr("cause", "")
+				if s.args == nil {
+					s.args = map[string]any{}
+				}
+				for k, v := range chromeArgs(ev) {
+					s.args[k] = v
+				}
+			}
+			continue
+		case EvStallEnd:
+			if s := stalls[ev.Peer]; s != nil {
+				delete(stalls, ev.Peer)
+				name := "stall"
+				if s.cause != "" {
+					name = "stall (" + s.cause + ")"
+				}
+				out = append(out, chromeEvent{
+					Name: name, Cat: CatPlayer, Ph: "X",
+					TS: s.ts, Dur: maxInt64(ts-s.ts, 1),
+					TID: ev.Peer, Args: s.args,
+				})
+			}
+			continue
+		case EvFlowActivate:
+			if id, ok := ev.Arg("flow"); ok {
+				flows[id.Int] = &openFlow{ts: ts, peer: ev.Peer, args: chromeArgs(ev)}
+				continue
+			}
+		case EvFlowComplete, EvFlowCancel:
+			if id, ok := ev.Arg("flow"); ok {
+				if f := flows[id.Int]; f != nil {
+					delete(flows, id.Int)
+					name := fmt.Sprintf("flow %d", id.Int)
+					if ev.Name == EvFlowCancel {
+						name += " (cancelled)"
+					}
+					out = append(out, chromeEvent{
+						Name: name, Cat: CatFlow, Ph: "X",
+						TS: f.ts, Dur: maxInt64(ts-f.ts, 1),
+						TID: f.peer, Args: f.args,
+					})
+					continue
+				}
+			}
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: "i", TS: ts,
+			TID: ev.Peer, Scope: "t", Args: chromeArgs(ev),
+		})
+	}
+
+	// Name each peer's timeline. Metadata events go first.
+	var ids []int
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	meta := make([]chromeEvent, 0, len(ids))
+	for _, id := range ids {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("peer %d", id)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// AppendJSONL appends one event as a single JSON line (newline included)
+// to dst and returns the extended slice. The encoding is hand-rolled so
+// the hot path allocates nothing beyond the destination slice: no
+// reflection, no intermediate maps. Fields with -1 sentinels (peer, seg)
+// are omitted, as is an empty args object. Argument order is the
+// emission order, which is itself deterministic.
+func AppendJSONL(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"t_us":`...)
+	dst = strconv.AppendInt(dst, ev.At.Microseconds(), 10)
+	dst = append(dst, `,"cat":`...)
+	dst = strconv.AppendQuote(dst, ev.Cat)
+	dst = append(dst, `,"name":`...)
+	dst = strconv.AppendQuote(dst, ev.Name)
+	if ev.Peer >= 0 {
+		dst = append(dst, `,"peer":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Peer), 10)
+	}
+	if ev.Seg >= 0 {
+		dst = append(dst, `,"seg":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Seg), 10)
+	}
+	if len(ev.Args) > 0 {
+		dst = append(dst, `,"args":{`...)
+		for i, a := range ev.Args {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendQuote(dst, a.Key)
+			dst = append(dst, ':')
+			switch a.Kind {
+			case ArgInt:
+				dst = strconv.AppendInt(dst, a.Int, 10)
+			case ArgFloat:
+				dst = strconv.AppendFloat(dst, a.Float, 'g', -1, 64)
+			case ArgStr:
+				dst = strconv.AppendQuote(dst, a.Str)
+			}
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// WriteJSONL writes events as JSON Lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, ev := range events {
+		line = AppendJSONL(line[:0], ev)
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// JSONLWriter is a streaming Sink that encodes each event as one JSON
+// line. Writes are serialized; the first write error is latched and
+// surfaced by Close (events after an error are dropped).
+type JSONLWriter struct {
+	mu   sync.Mutex // guards bw, line and err
+	bw   *bufio.Writer
+	line []byte
+	err  error
+}
+
+// NewJSONLWriter returns a streaming JSONL sink over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriter(w)}
+}
+
+// Emit writes one event line.
+func (jw *JSONLWriter) Emit(ev Event) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	jw.line = AppendJSONL(jw.line[:0], ev)
+	_, jw.err = jw.bw.Write(jw.line)
+}
+
+// Close flushes buffered lines and returns the first error seen.
+func (jw *JSONLWriter) Close() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return jw.err
+	}
+	jw.err = jw.bw.Flush()
+	return jw.err
+}

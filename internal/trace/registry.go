@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic atomic counter. The zero Counter (from a nil
+// Registry) is a no-op, so instrumented code never branches on whether
+// metrics are enabled.
+type Counter struct {
+	v *int64
+}
+
+// Add increments the counter by delta.
+func (c Counter) Add(delta int64) {
+	if c.v != nil {
+		atomic.AddInt64(c.v, delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() int64 {
+	if c.v == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c.v)
+}
+
+// Gauge is an atomic instantaneous value. The zero Gauge is a no-op.
+type Gauge struct {
+	v *int64
+}
+
+// Set stores v.
+func (g Gauge) Set(v int64) {
+	if g.v != nil {
+		atomic.StoreInt64(g.v, v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g Gauge) Add(delta int64) {
+	if g.v != nil {
+		atomic.AddInt64(g.v, delta)
+	}
+}
+
+// Value returns the current value.
+func (g Gauge) Value() int64 {
+	if g.v == nil {
+		return 0
+	}
+	return atomic.LoadInt64(g.v)
+}
+
+// Stat is one snapshot entry.
+type Stat struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "counter" or "gauge"
+	Value int64  `json:"value"`
+}
+
+// Registry is a small named counter/gauge set for the real TCP stack.
+// Lookup is locked; the returned handles update lock-free. A nil
+// *Registry is valid and hands out no-op handles.
+type Registry struct {
+	mu       sync.Mutex // guards counters and gauges
+	counters map[string]*int64
+	gauges   map[string]*int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*int64{}, gauges: map[string]*int64{}}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.counters[name]
+	if v == nil {
+		v = new(int64)
+		r.counters[name] = v
+	}
+	return Counter{v: v}
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.gauges[name]
+	if v == nil {
+		v = new(int64)
+		r.gauges[name] = v
+	}
+	return Gauge{v: v}
+}
+
+// Snapshot returns every stat, counters before gauges, each sorted by
+// name so output is stable.
+func (r *Registry) Snapshot() []Stat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Stat
+	for name, v := range r.counters {
+		out = append(out, Stat{Name: name, Kind: "counter", Value: atomic.LoadInt64(v)})
+	}
+	for name, v := range r.gauges {
+		out = append(out, Stat{Name: name, Kind: "gauge", Value: atomic.LoadInt64(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind // "counter" < "gauge"
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteText renders the snapshot as aligned "name value" lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%-28s %12d\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

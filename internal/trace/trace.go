@@ -1,0 +1,216 @@
+// Package trace is the structured event layer for the whole stack: the
+// deterministic emulator (sim engine, netem flows, simpeer scheduling,
+// player state) and the real TCP node both emit the same Event records,
+// which downstream tooling renders as JSONL, Chrome trace-event JSON
+// (about:tracing / Perfetto), or a per-peer stall timeline.
+//
+// Determinism contract (DESIGN.md §8): tracing must be provably inert.
+// A *Tracer is an observer only — it never draws from an RNG, never
+// schedules events, and never reads a clock (every Event carries the
+// timestamp its emitter already had). A nil *Tracer is valid and makes
+// every Emit a no-op, so instrumented code needs no conditionals and the
+// traced and untraced paths execute the same statements.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Event categories. One short tag per emitting subsystem.
+const (
+	CatSim    = "sim"
+	CatFlow   = "flow"
+	CatPool   = "pool"
+	CatPlayer = "player"
+	CatSched  = "sched"
+)
+
+// Canonical event names. Emitters and the timeline/attribution tooling
+// share these constants so a renamed event cannot silently break pairing.
+const (
+	// Netem flow lifecycle (CatFlow).
+	EvFlowSetup    = "flow_setup"
+	EvFlowActivate = "flow_activate"
+	EvFlowFreeze   = "flow_freeze"
+	EvFlowUnfreeze = "flow_unfreeze"
+	EvFlowRamp     = "flow_ramp"
+	EvFlowComplete = "flow_complete"
+	EvFlowCancel   = "flow_cancel"
+
+	// Scheduling decisions (CatPool for the emulation, CatSched for the
+	// real node).
+	EvPoolFill     = "pool_fill"
+	EvSourcePick   = "source_pick"
+	EvSourceRetry  = "source_retry"
+	EvSegComplete  = "segment_complete"
+	EvSchedule     = "schedule"
+	EvScheduleIdle = "schedule_idle"
+	EvVerifyFail   = "verify_fail"
+	EvStoreFail    = "store_fail"
+	EvTimeout      = "download_timeout"
+
+	// Player state (CatPlayer).
+	EvStartup    = "startup"
+	EvStallBegin = "stall_begin"
+	EvStallCause = "stall_cause"
+	EvStallEnd   = "stall_end"
+	EvFinished   = "playback_finished"
+
+	// Run summary (CatSim).
+	EvSimSummary = "sim_summary"
+)
+
+// Stall causes attached to EvStallCause events. Every stall must carry
+// exactly one of these; the attribution tests enforce it.
+const (
+	// CauseEmptyPool: nothing was in flight and the scheduler had not
+	// launched anything even though a source existed — a scheduler gap.
+	CauseEmptyPool = "empty_pool"
+	// CauseChokedSources: nothing was in flight because every holder of
+	// the next segment was choked/busy (the peer is waiting on a retry).
+	CauseChokedSources = "choked_sources"
+	// CauseNoSource: nothing was in flight and no connected peer holds
+	// the next missing segment at all.
+	CauseNoSource = "no_source"
+	// CauseFrozenFlow: a download was in flight but frozen in an RTO.
+	CauseFrozenFlow = "frozen_flow"
+	// CauseSlowFlow: downloads were in flight and moving, just slower
+	// than playback.
+	CauseSlowFlow = "slow_flow"
+)
+
+// ArgKind discriminates an Arg's payload.
+type ArgKind uint8
+
+const (
+	// ArgInt marks an integer argument.
+	ArgInt ArgKind = iota
+	// ArgFloat marks a float argument.
+	ArgFloat
+	// ArgStr marks a string argument.
+	ArgStr
+)
+
+// Arg is one typed key/value attached to an Event. A flat struct (rather
+// than map[string]any) keeps emission allocation-light and free of map
+// iteration order.
+type Arg struct {
+	Key   string
+	Kind  ArgKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Int64 returns an integer argument.
+func Int64(key string, v int64) Arg { return Arg{Key: key, Kind: ArgInt, Int: v} }
+
+// Float64 returns a float argument.
+func Float64(key string, v float64) Arg { return Arg{Key: key, Kind: ArgFloat, Float: v} }
+
+// Str returns a string argument.
+func Str(key, v string) Arg { return Arg{Key: key, Kind: ArgStr, Str: v} }
+
+// Event is one structured trace record. At is whatever clock the emitter
+// runs on: virtual time in the emulation, time-since-join on the real
+// node. Peer and Seg are -1 when not applicable.
+type Event struct {
+	At   time.Duration
+	Peer int
+	Seg  int
+	Cat  string
+	Name string
+	Args []Arg
+}
+
+// Arg returns the argument with the given key.
+func (ev Event) Arg(key string) (Arg, bool) {
+	for _, a := range ev.Args {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Arg{}, false
+}
+
+// ArgInt64 returns the integer value of the named argument, or def.
+func (ev Event) ArgInt64(key string, def int64) int64 {
+	if a, ok := ev.Arg(key); ok && a.Kind == ArgInt {
+		return a.Int
+	}
+	return def
+}
+
+// ArgStr returns the string value of the named argument, or def.
+func (ev Event) ArgStr(key, def string) string {
+	if a, ok := ev.Arg(key); ok && a.Kind == ArgStr {
+		return a.Str
+	}
+	return def
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use
+// when attached to the real TCP stack; the emulation is single-threaded.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer is the handle instrumented code holds. The nil Tracer is valid:
+// Emit on nil is a no-op and Enabled reports false, so call sites that
+// build costly argument lists can skip the work without a second code
+// path for "tracing off".
+type Tracer struct {
+	sink Sink
+}
+
+// New returns a Tracer writing to sink, or nil when sink is nil.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether Emit does anything.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit records one event. Safe on a nil Tracer.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(ev)
+}
+
+// Buffer is an in-memory Sink. It is safe for concurrent use (the real
+// stack emits from several goroutines); in the single-threaded emulation
+// the mutex is uncontended.
+type Buffer struct {
+	mu     sync.Mutex // guards events
+	events []Event
+}
+
+// NewBuffer returns an empty Buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit appends ev.
+func (b *Buffer) Emit(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, ev)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
