@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint fuzz-smoke bench-json trace-smoke
+.PHONY: all build test race vet lint fuzz-smoke bench-json trace-smoke fault-smoke
 
 all: build vet lint test
 
@@ -36,6 +36,22 @@ trace-smoke:
 	$(GO) run ./cmd/experiment -quick -figure 2 -trace trace-quick > /dev/null
 	@ls trace-quick | head -6
 	@echo "trace-smoke: $$(ls trace-quick | wc -l) artifacts in trace-quick/"
+
+# fault-smoke: the churn figure (seeded fault injection) must be
+# bit-reproducible. Run the quick-scale sweep twice at workers=1 and
+# byte-compare the JSON; then once at workers=4 and compare again with
+# the legitimately varying fields (elapsed_ms, workers) stripped.
+fault-smoke:
+	$(GO) run ./cmd/experiment -quick -figure churn -json -workers 1 > fault-smoke-a.json
+	$(GO) run ./cmd/experiment -quick -figure churn -json -workers 1 > fault-smoke-b.json
+	grep -v '"elapsed_ms"' fault-smoke-a.json > fault-smoke-a.stripped
+	grep -v '"elapsed_ms"' fault-smoke-b.json > fault-smoke-b.stripped
+	cmp fault-smoke-a.stripped fault-smoke-b.stripped
+	$(GO) run ./cmd/experiment -quick -figure churn -json -workers 4 > fault-smoke-c.json
+	grep -v '"elapsed_ms"\|"workers"' fault-smoke-a.json > fault-smoke-aw.stripped
+	grep -v '"elapsed_ms"\|"workers"' fault-smoke-c.json > fault-smoke-cw.stripped
+	cmp fault-smoke-aw.stripped fault-smoke-cw.stripped
+	@echo "fault-smoke: churn figure bit-identical across runs and workers"
 
 # Short fuzz pass over every fuzz target; go's fuzzer accepts one -fuzz
 # pattern per package invocation, so targets run sequentially.

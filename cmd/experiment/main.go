@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiment [-figure all|2|3|4|5|table] [-quick] [-runs N] [-leechers N]
-//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR]
+//	experiment [-figure all|2|3|4|5|6|table|churn] [-quick] [-runs N] [-leechers N]
+//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR] [-churn]
 //	           [-ablation churn|estimator|relay|rarest|cross|varbw]
 package main
 
@@ -39,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable figure results as JSON on stdout instead of text tables")
 		traceDir = flag.String("trace", "", "write per-cell trace artifacts (.jsonl, .trace.json, .timeline.json) into this directory; figure values are unchanged")
+		churn    = flag.Bool("churn", false, "also run the churn figure (seeded fault injection); implied by -figure churn")
 	)
 	flag.Parse()
 
@@ -92,8 +93,12 @@ func main() {
 		"5":     {"Figure 5", p.Fig5Pooling},
 		"6":     {"Figure 6 (extension)", p.Fig6AdaptiveSplicing},
 		"table": {"Splicing table", func([]int64) (*experiment.FigureResult, error) { return p.SpliceOverheadTable() }},
+		"churn": {"Churn figure (extension)", func([]int64) (*experiment.FigureResult, error) { return p.FigChurn(nil) }},
 	}
 	order := []string{"2", "3", "4", "5", "6", "table"}
+	if *churn {
+		order = append(order, "churn")
+	}
 	if *figure != "all" {
 		if _, ok := gens[*figure]; !ok {
 			fmt.Fprintf(os.Stderr, "experiment: unknown figure %q\n", *figure)

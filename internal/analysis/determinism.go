@@ -22,6 +22,7 @@ var DeterministicPackages = []string{
 	"p2psplice/internal/experiment",
 	"p2psplice/internal/metrics",
 	"p2psplice/internal/trace",
+	"p2psplice/internal/fault",
 }
 
 // Determinism flags, inside the simulation-deterministic packages:

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"p2psplice/internal/core"
+	"p2psplice/internal/fault"
+	"p2psplice/internal/simpeer"
 	"p2psplice/internal/splicer"
 )
 
@@ -192,6 +194,53 @@ func TestSeedMatrixGoldenTracedAgrees(t *testing.T) {
 			t.Fatalf("golden file missing 9001/gop/%d", bw)
 		}
 		ctx := fmt.Sprintf("traced seed=9001 splicer=gop bw=%d", bw)
+		assertHexFloatEqual(t, ctx+" stalls", w.Stalls, hexFloat(pt.Stalls))
+		assertHexFloatEqual(t, ctx+" stallSeconds", w.StallSecs, hexFloat(pt.StallSeconds))
+		assertHexFloatEqual(t, ctx+" startupSeconds", w.StartupSecs, hexFloat(pt.StartupSecs))
+	}
+}
+
+// TestSeedMatrixGoldenEmptyFaultPlanAgrees reruns a slice of the grid
+// with the fault layer explicitly wired in but empty — a zero fault.Plan
+// and a zero RetryBackoff — and checks it against the same golden file.
+// The fault subsystem's inertness contract is that unused, it moves not
+// a single bit of any pinned value.
+func TestSeedMatrixGoldenEmptyFaultPlanAgrees(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file being regenerated")
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]goldenEntry, len(want))
+	for _, w := range want {
+		byKey[fmt.Sprintf("%d/%s/%d", w.Seed, w.Splicer, w.BandwidthKB)] = w
+	}
+	p := goldenParams(1)
+	sp := splicer.DurationSplicer{Target: 8 * time.Second}
+	segs, err := p.Segments(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := func(cfg *simpeer.SwarmConfig) {
+		cfg.Faults = fault.Plan{}
+		cfg.RetryBackoff = fault.Backoff{}
+	}
+	for _, bw := range []int64{128, 512} {
+		pt, err := p.runPoint("golden-empty-faults/8s", segs, bw, core.AdaptivePool{}, mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := byKey[fmt.Sprintf("1/8s/%d", bw)]
+		if !ok {
+			t.Fatalf("golden file missing 1/8s/%d", bw)
+		}
+		ctx := fmt.Sprintf("empty-faults seed=1 splicer=8s bw=%d", bw)
 		assertHexFloatEqual(t, ctx+" stalls", w.Stalls, hexFloat(pt.Stalls))
 		assertHexFloatEqual(t, ctx+" stallSeconds", w.StallSecs, hexFloat(pt.StallSeconds))
 		assertHexFloatEqual(t, ctx+" startupSeconds", w.StartupSecs, hexFloat(pt.StartupSecs))

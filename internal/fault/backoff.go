@@ -1,0 +1,63 @@
+package fault
+
+import "time"
+
+// Backoff parameterizes capped exponential retry backoff with
+// deterministic jitter. The zero value is disabled (Enabled reports
+// false) so consumers can keep their legacy fixed retry delay — and
+// their goldens — unless a plan opts in.
+type Backoff struct {
+	Base       time.Duration // first retry delay; 0 disables backoff
+	Cap        time.Duration // upper bound on the unjittered delay
+	JitterFrac float64       // jitter width as a fraction of the delay, e.g. 0.5 → ±25%
+}
+
+// Enabled reports whether the backoff is configured.
+func (b Backoff) Enabled() bool { return b.Base > 0 }
+
+// Delay returns the delay before retry number attempt (0-based):
+// min(Base<<attempt, Cap), jittered deterministically into
+// [d·(1−J/2), d·(1+J/2)] by a splitmix64 hash of (seed, node, attempt).
+// The jitter never touches an engine RNG, so enabling backoff perturbs
+// no other random draw in a deterministic run.
+func (b Backoff) Delay(seed int64, node, attempt int) time.Duration {
+	if !b.Enabled() {
+		return 0
+	}
+	d := b.Base
+	// Shift with overflow guard: past ~63 doublings (or once the cap is
+	// hit) the delay saturates at Cap.
+	for i := 0; i < attempt; i++ {
+		if b.Cap > 0 && d >= b.Cap {
+			break
+		}
+		if d > 1<<62/2 {
+			d = 1 << 62
+			break
+		}
+		d *= 2
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	if b.JitterFrac > 0 {
+		h := splitmix64(uint64(seed) ^ uint64(node)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9)
+		// u in [0,1) from the top 53 bits.
+		u := float64(h>>11) / (1 << 53)
+		frac := 1 + b.JitterFrac*(u-0.5)
+		d = time.Duration(float64(d) * frac)
+	}
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64: a cheap,
+// well-mixed pure hash — exactly what deterministic jitter needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

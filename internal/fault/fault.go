@@ -1,0 +1,251 @@
+// Package fault is the deterministic fault-injection subsystem: a Plan
+// is a seeded, reproducible schedule of typed events — peer crash and
+// rejoin (churn), seeder outage windows, tracker unavailability windows,
+// and per-node link flaps or rate degradation. The emulated stack
+// compiles a Plan against the sim clock (internal/simpeer); the real
+// stack fires the same Plan on wall-clock timers (Scheduler).
+//
+// Determinism contract (DESIGN.md §9): generators draw only from their
+// own seeded rand.Rand, never a global or engine RNG, so a Plan is a
+// pure function of its arguments. An empty Plan schedules nothing and
+// must leave every consumer bit-identical to a run without the fault
+// layer at all — the golden tests enforce this.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind is the type of an injected fault event.
+type Kind int
+
+const (
+	// KindPeerCrash takes a node offline: its flows are cancelled, its
+	// in-flight segments return to the swarm pool immediately.
+	KindPeerCrash Kind = iota
+	// KindPeerRejoin brings a crashed node back (process restart: it
+	// keeps its on-disk segments).
+	KindPeerRejoin
+	// KindLinkDown administratively downs a node's links, freezing every
+	// flow that touches it.
+	KindLinkDown
+	// KindLinkUp restores a downed link.
+	KindLinkUp
+	// KindLinkRate degrades (or restores) a node's link bandwidth to
+	// BytesPerSec without downing it.
+	KindLinkRate
+	// KindTrackerDown makes the tracker unavailable: joins and rejoins
+	// defer until recovery; connected peers keep trading.
+	KindTrackerDown
+	// KindTrackerUp restores the tracker and drains deferred joins.
+	KindTrackerUp
+)
+
+// String returns the canonical wire/trace name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPeerCrash:
+		return "peer_crash"
+	case KindPeerRejoin:
+		return "peer_rejoin"
+	case KindLinkDown:
+		return "link_down"
+	case KindLinkUp:
+		return "link_up"
+	case KindLinkRate:
+		return "link_rate"
+	case KindTrackerDown:
+		return "tracker_down"
+	case KindTrackerUp:
+		return "tracker_up"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault. Node addresses the swarm's peers by
+// index (0 = seeder, 1..N = leechers) and is ignored for tracker
+// events. BytesPerSec is used only by KindLinkRate.
+type Event struct {
+	At          time.Duration
+	Kind        Kind
+	Node        int
+	BytesPerSec int64
+}
+
+// Plan is a schedule of fault events. The zero value is the empty plan.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Sorted returns a copy of the plan with events in ascending At order.
+// The sort is stable so same-instant events keep their authored order
+// (e.g. a rejoin authored before a crash at the same instant stays
+// before it), which keeps compilation deterministic.
+func (p Plan) Sorted() Plan {
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return Plan{Events: evs}
+}
+
+// Validate checks structural sanity: non-negative times, node indices
+// within [0, maxNode], and closed windows — every crash is followed by
+// a rejoin for the same node, every link-down by a link-up, every
+// tracker-down by a tracker-up. Closed windows are required because an
+// unclosed outage plus a sole segment holder gone would turn the
+// emulation's retry loop into a livelock that only the event budget
+// stops (DESIGN.md §9).
+func (p Plan) Validate(maxNode int) error {
+	crashed := map[int]bool{}
+	linkDown := map[int]bool{}
+	trackerDown := false
+	for i, ev := range p.Sorted().Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d (%s) at negative time %v", i, ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case KindTrackerDown:
+			if trackerDown {
+				return fmt.Errorf("fault: tracker_down at %v while already down", ev.At)
+			}
+			trackerDown = true
+			continue
+		case KindTrackerUp:
+			if !trackerDown {
+				return fmt.Errorf("fault: tracker_up at %v without a prior tracker_down", ev.At)
+			}
+			trackerDown = false
+			continue
+		}
+		if ev.Node < 0 || ev.Node > maxNode {
+			return fmt.Errorf("fault: event %d (%s) node %d out of range [0,%d]", i, ev.Kind, ev.Node, maxNode)
+		}
+		switch ev.Kind {
+		case KindPeerCrash:
+			if crashed[ev.Node] {
+				return fmt.Errorf("fault: peer_crash node %d at %v while already crashed", ev.Node, ev.At)
+			}
+			crashed[ev.Node] = true
+		case KindPeerRejoin:
+			if !crashed[ev.Node] {
+				return fmt.Errorf("fault: peer_rejoin node %d at %v without a prior crash", ev.Node, ev.At)
+			}
+			crashed[ev.Node] = false
+		case KindLinkDown:
+			if linkDown[ev.Node] {
+				return fmt.Errorf("fault: link_down node %d at %v while already down", ev.Node, ev.At)
+			}
+			linkDown[ev.Node] = true
+		case KindLinkUp:
+			if !linkDown[ev.Node] {
+				return fmt.Errorf("fault: link_up node %d at %v without a prior link_down", ev.Node, ev.At)
+			}
+			linkDown[ev.Node] = false
+		case KindLinkRate:
+			if ev.BytesPerSec <= 0 {
+				return fmt.Errorf("fault: link_rate node %d at %v with non-positive rate %d", ev.Node, ev.At, ev.BytesPerSec)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	for node, down := range crashed {
+		if down {
+			return fmt.Errorf("fault: node %d crashes but never rejoins (unclosed window)", node)
+		}
+	}
+	for node, down := range linkDown {
+		if down {
+			return fmt.Errorf("fault: node %d link goes down but never comes up (unclosed window)", node)
+		}
+	}
+	if trackerDown {
+		return fmt.Errorf("fault: tracker goes down but never comes up (unclosed window)")
+	}
+	return nil
+}
+
+// Merge concatenates plans into one. The result preserves authored
+// order within each plan; consumers sort by At via Sorted.
+func Merge(plans ...Plan) Plan {
+	var out Plan
+	for _, p := range plans {
+		out.Events = append(out.Events, p.Events...)
+	}
+	return out
+}
+
+// minOffline floors churn offline sessions so a rejoin never lands on
+// the same instant as its crash.
+const minOffline = 500 * time.Millisecond
+
+// Churn generates exponential on/off sessions for each node: online for
+// Exp(meanOnline), crash, offline for Exp(meanOffline) (floored at
+// 500ms), rejoin, repeat until horizon. Every crash is paired with a
+// rejoin — sessions that would cross the horizon are closed just inside
+// it, so the plan always validates. The schedule is a pure function of
+// (seed, nodes, horizon, meanOnline, meanOffline).
+func Churn(seed int64, nodes []int, horizon, meanOnline, meanOffline time.Duration) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	var p Plan
+	for _, node := range nodes {
+		at := time.Duration(rng.ExpFloat64() * float64(meanOnline))
+		for at < horizon {
+			off := time.Duration(rng.ExpFloat64() * float64(meanOffline))
+			if off < minOffline {
+				off = minOffline
+			}
+			up := at + off
+			if up >= horizon {
+				up = horizon - time.Millisecond
+				if up <= at {
+					break // no room to close the window; drop the crash
+				}
+			}
+			p.Events = append(p.Events,
+				Event{At: at, Kind: KindPeerCrash, Node: node},
+				Event{At: up, Kind: KindPeerRejoin, Node: node})
+			at = up + time.Duration(rng.ExpFloat64()*float64(meanOnline))
+		}
+	}
+	return p.Sorted()
+}
+
+// SeederOutage takes the seeder (node 0) down for [start, start+dur).
+func SeederOutage(start, dur time.Duration) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindPeerCrash, Node: 0},
+		{At: start + dur, Kind: KindPeerRejoin, Node: 0},
+	}}
+}
+
+// TrackerOutage makes the tracker unavailable for [start, start+dur).
+func TrackerOutage(start, dur time.Duration) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindTrackerDown},
+		{At: start + dur, Kind: KindTrackerUp},
+	}}
+}
+
+// LinkFlap downs a node's links for [start, start+dur).
+func LinkFlap(node int, start, dur time.Duration) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindLinkDown, Node: node},
+		{At: start + dur, Kind: KindLinkUp, Node: node},
+	}}
+}
+
+// RateDip degrades a node's link rate to dipTo for [start, start+dur),
+// then restores it to the given rate.
+func RateDip(node int, start, dur time.Duration, dipTo, restore int64) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindLinkRate, Node: node, BytesPerSec: dipTo},
+		{At: start + dur, Kind: KindLinkRate, Node: node, BytesPerSec: restore},
+	}}
+}

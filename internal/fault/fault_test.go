@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChurnDeterministic(t *testing.T) {
+	nodes := []int{1, 3, 5}
+	a := Churn(42, nodes, 2*time.Minute, 20*time.Second, 5*time.Second)
+	b := Churn(42, nodes, 2*time.Minute, 20*time.Second, 5*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different churn plans")
+	}
+	c := Churn(43, nodes, 2*time.Minute, 20*time.Second, 5*time.Second)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical churn plans")
+	}
+	if a.Empty() {
+		t.Fatal("expected a 2-minute churn plan with 20s mean online to schedule events")
+	}
+}
+
+func TestChurnWindowsClosedAndValid(t *testing.T) {
+	horizon := 90 * time.Second
+	p := Churn(7, []int{1, 2, 3, 4}, horizon, 10*time.Second, 3*time.Second)
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("churn plan invalid: %v", err)
+	}
+	for _, ev := range p.Events {
+		if ev.At < 0 || ev.At >= horizon {
+			t.Fatalf("event %v at %v outside [0, %v)", ev.Kind, ev.At, horizon)
+		}
+	}
+	// Crash/rejoin must strictly alternate per node.
+	down := map[int]bool{}
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case KindPeerCrash:
+			if down[ev.Node] {
+				t.Fatalf("node %d crashed twice without rejoin", ev.Node)
+			}
+			down[ev.Node] = true
+		case KindPeerRejoin:
+			if !down[ev.Node] {
+				t.Fatalf("node %d rejoined without crash", ev.Node)
+			}
+			down[ev.Node] = false
+		}
+	}
+}
+
+func TestSortedStableAndNonMutating(t *testing.T) {
+	p := Plan{Events: []Event{
+		{At: 2 * time.Second, Kind: KindPeerRejoin, Node: 1},
+		{At: time.Second, Kind: KindPeerCrash, Node: 1},
+		{At: 2 * time.Second, Kind: KindLinkUp, Node: 2},
+	}}
+	s := p.Sorted()
+	if p.Events[0].Kind != KindPeerRejoin {
+		t.Fatal("Sorted mutated the receiver")
+	}
+	want := []Kind{KindPeerCrash, KindPeerRejoin, KindLinkUp}
+	for i, ev := range s.Events {
+		if ev.Kind != want[i] {
+			t.Fatalf("event %d: got %v want %v (stable same-instant order lost)", i, ev.Kind, want[i])
+		}
+	}
+}
+
+func TestValidateRejectsBrokenPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+	}{
+		{"unclosed crash", Plan{Events: []Event{{At: 0, Kind: KindPeerCrash, Node: 1}}}},
+		{"rejoin without crash", Plan{Events: []Event{{At: 0, Kind: KindPeerRejoin, Node: 1}}}},
+		{"unclosed link down", Plan{Events: []Event{{At: 0, Kind: KindLinkDown, Node: 1}}}},
+		{"unclosed tracker down", Plan{Events: []Event{{At: 0, Kind: KindTrackerDown}}}},
+		{"tracker up first", Plan{Events: []Event{{At: 0, Kind: KindTrackerUp}}}},
+		{"node out of range", Merge(SeederOutage(0, time.Second), LinkFlap(9, 0, time.Second))},
+		{"negative time", SeederOutage(-time.Second, 500*time.Millisecond)},
+		{"zero link rate", Plan{Events: []Event{{At: 0, Kind: KindLinkRate, Node: 1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(3); err == nil {
+			t.Errorf("%s: Validate accepted a broken plan", tc.name)
+		}
+	}
+	ok := Merge(
+		SeederOutage(time.Second, 2*time.Second),
+		TrackerOutage(500*time.Millisecond, time.Second),
+		LinkFlap(2, 0, 3*time.Second),
+		RateDip(1, time.Second, time.Second, 16<<10, 64<<10),
+	)
+	if err := ok.Validate(3); err != nil {
+		t.Fatalf("Validate rejected a well-formed plan: %v", err)
+	}
+}
+
+func TestBackoffDeterministicCappedJittered(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second, JitterFrac: 0.5}
+	if !b.Enabled() {
+		t.Fatal("configured backoff reports disabled")
+	}
+	if (Backoff{}).Enabled() {
+		t.Fatal("zero backoff reports enabled")
+	}
+	if d := (Backoff{}).Delay(1, 2, 3); d != 0 {
+		t.Fatalf("disabled backoff returned %v", d)
+	}
+	for attempt := 0; attempt < 12; attempt++ {
+		d1 := b.Delay(1000, 3, attempt)
+		d2 := b.Delay(1000, 3, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic delay %v vs %v", attempt, d1, d2)
+		}
+		// Unjittered envelope: min(Base<<attempt, Cap) ± 25%.
+		base := b.Base << attempt
+		if attempt > 5 || base > b.Cap {
+			base = b.Cap
+		}
+		lo := time.Duration(float64(base) * 0.74)
+		hi := time.Duration(float64(base) * 1.26)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d: delay %v outside jitter envelope [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+	if b.Delay(1000, 3, 2) == b.Delay(1001, 3, 2) &&
+		b.Delay(1000, 3, 3) == b.Delay(1001, 3, 3) &&
+		b.Delay(1000, 4, 2) == b.Delay(1000, 5, 2) {
+		t.Fatal("jitter appears insensitive to seed and node")
+	}
+	// Huge attempt counts must not overflow into negative delays.
+	if d := b.Delay(1, 1, 400); d <= 0 || d > time.Duration(float64(b.Cap)*1.26) {
+		t.Fatalf("attempt 400: delay %v escaped the cap", d)
+	}
+}
+
+func TestSchedulerFiresAndStops(t *testing.T) {
+	var mu sync.Mutex
+	fired := map[Kind]int{}
+	p := Plan{Events: []Event{
+		{At: 0, Kind: KindTrackerDown},
+		{At: 10 * time.Millisecond, Kind: KindTrackerUp},
+		{At: 5 * time.Second, Kind: KindPeerCrash, Node: 1}, // must be cancelled by Stop
+	}}
+	s := Start(p, func(ev Event) {
+		mu.Lock()
+		fired[ev.Kind]++
+		mu.Unlock()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := fired[KindTrackerDown] == 1 && fired[KindTrackerUp] == 1
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scheduler did not fire near-term events in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired[KindPeerCrash] != 0 {
+		t.Fatal("Stop did not cancel the pending event")
+	}
+}

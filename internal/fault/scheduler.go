@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Scheduler fires a Plan on wall-clock timers for the real TCP stack.
+// Event times are relative to Start. The fire callback runs on timer
+// goroutines and must be safe for concurrent use; same-instant events
+// may fire in any order (wall-clock runs have no total order to
+// preserve — the deterministic compilation lives in simpeer).
+type Scheduler struct {
+	mu      sync.Mutex // guards timers, stopped
+	timers  []*time.Timer
+	stopped bool
+}
+
+// Start schedules every event in the plan and returns a handle that
+// cancels the outstanding timers on Stop.
+func Start(p Plan, fire func(Event)) *Scheduler {
+	s := &Scheduler{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range p.Sorted().Events {
+		ev := ev
+		s.timers = append(s.timers, time.AfterFunc(ev.At, func() {
+			s.mu.Lock()
+			dead := s.stopped
+			s.mu.Unlock()
+			if !dead {
+				fire(ev)
+			}
+		}))
+	}
+	return s
+}
+
+// Stop cancels all pending events. Events already in flight may still
+// complete; events not yet fired are dropped.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, t := range s.timers {
+		t.Stop()
+	}
+	s.timers = nil
+}

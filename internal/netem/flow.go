@@ -267,13 +267,21 @@ func (f *Flow) scheduleRamp() {
 	})
 }
 
-// capLimit returns the flow's own rate ceiling (slow start, loss model, and
-// RTO freezes).
+// capLimit returns the flow's own rate ceiling (slow start, loss model,
+// RTO freezes, and administratively-downed links). A zero cap means the
+// allocator fixes the flow at rate 0 and cancels its completion timer;
+// a later reallocation (link up, freeze end) revives it.
 func (f *Flow) capLimit() float64 {
-	if f.frozen {
+	if f.frozen || f.net.nodes[f.src].offline || f.net.nodes[f.dst].offline {
 		return 0
 	}
 	return math.Min(f.rampCap, f.lossCap)
+}
+
+// LinkDown reports whether either endpoint's link is administratively
+// down. Like Frozen, it is a pure read for stall attribution.
+func (f *Flow) LinkDown() bool {
+	return f.net.nodes[f.src].offline || f.net.nodes[f.dst].offline
 }
 
 // complete finishes the flow and notifies the owner.

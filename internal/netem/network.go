@@ -174,10 +174,11 @@ type Network struct {
 }
 
 type node struct {
-	id   NodeID
-	cfg  NodeConfig
-	up   *link
-	down *link
+	id      NodeID
+	cfg     NodeConfig
+	up      *link
+	down    *link
+	offline bool // link administratively down; flows touching it freeze
 }
 
 type link struct {

@@ -125,7 +125,7 @@ type Node struct {
 	tr *trace.Tracer // immutable after construction; nil-safe
 	nm nodeMetrics   // immutable after construction; handles are no-ops without a registry
 
-	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters and closed
+	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers and dialState
 	conns         map[wire.PeerID]*conn
 	active        map[int]*segDownload // in-flight segment downloads
 	play          *player.Player       // nil for seeders
@@ -134,6 +134,9 @@ type Node struct {
 	servingConns  int     // occupied upload slots
 	chokedWaiters []*conn // FIFO of choked requesters awaiting a slot
 	closed        bool
+	trackerDown   bool                    // last announce failed; degraded to cachedPeers
+	cachedPeers   []tracker.PeerInfo      // last successful announce result
+	dialState     map[string]*dialBackoff // per-address reconnect backoff
 	completeC     chan struct{} // closed when the store completes
 	completeOnce  sync.Once
 
@@ -285,6 +288,7 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		nm:        newNodeMetrics(cfg.Metrics),
 		conns:     make(map[wire.PeerID]*conn),
 		active:    make(map[int]*segDownload),
+		dialState: make(map[string]*dialBackoff),
 		play:      play,
 		est:       est,
 		completeC: make(chan struct{}),
@@ -419,23 +423,47 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-func (n *Node) handleInbound(raw net.Conn) error {
+// handshake runs the wire handshake on a fresh connection, under a
+// deadline bounding the whole exchange. The deadline is cleared by defer
+// so no exit path can leave it armed — an armed deadline would silently
+// kill the connection's read loop DialTimeout after the handshake.
+func (n *Node) handshake(raw net.Conn, initiate bool) (wire.PeerID, error) {
 	_ = raw.SetDeadline(time.Now().Add(n.cfg.DialTimeout))
+	defer func() { _ = raw.SetDeadline(time.Time{}) }()
+	var remote wire.PeerID
+	if initiate {
+		if err := wire.WriteHandshake(raw, wire.Handshake{InfoHash: n.infoHash, PeerID: n.peerID}); err != nil {
+			return remote, err
+		}
+		hs, err := wire.ReadHandshake(raw)
+		if err != nil {
+			return remote, err
+		}
+		if hs.InfoHash != n.infoHash {
+			return remote, fmt.Errorf("remote is in swarm %s", hs.InfoHash)
+		}
+		return hs.PeerID, nil
+	}
 	hs, err := wire.ReadHandshake(raw)
+	if err != nil {
+		return remote, err
+	}
+	if hs.InfoHash != n.infoHash {
+		return remote, fmt.Errorf("wrong swarm %s", hs.InfoHash)
+	}
+	if err := wire.WriteHandshake(raw, wire.Handshake{InfoHash: n.infoHash, PeerID: n.peerID}); err != nil {
+		return remote, err
+	}
+	return hs.PeerID, nil
+}
+
+func (n *Node) handleInbound(raw net.Conn) error {
+	remote, err := n.handshake(raw, false)
 	if err != nil {
 		raw.Close()
 		return err
 	}
-	if hs.InfoHash != n.infoHash {
-		raw.Close()
-		return fmt.Errorf("wrong swarm %s", hs.InfoHash)
-	}
-	if err := wire.WriteHandshake(raw, wire.Handshake{InfoHash: n.infoHash, PeerID: n.peerID}); err != nil {
-		raw.Close()
-		return err
-	}
-	_ = raw.SetDeadline(time.Time{})
-	return n.startConn(raw, hs.PeerID)
+	return n.startConn(raw, remote)
 }
 
 // Connect dials a peer and adds it to the connection set. Connecting to an
@@ -451,22 +479,12 @@ func (n *Node) Connect(addr string) error {
 	if err != nil {
 		return fmt.Errorf("peer: dial %s: %w", addr, err)
 	}
-	_ = raw.SetDeadline(time.Now().Add(n.cfg.DialTimeout))
-	if err := wire.WriteHandshake(raw, wire.Handshake{InfoHash: n.infoHash, PeerID: n.peerID}); err != nil {
-		raw.Close()
-		return err
-	}
-	hs, err := wire.ReadHandshake(raw)
+	remote, err := n.handshake(raw, true)
 	if err != nil {
 		raw.Close()
-		return err
+		return fmt.Errorf("peer: %s: %w", addr, err)
 	}
-	if hs.InfoHash != n.infoHash {
-		raw.Close()
-		return fmt.Errorf("peer: %s is in swarm %s", addr, hs.InfoHash)
-	}
-	_ = raw.SetDeadline(time.Time{})
-	return n.startConn(raw, hs.PeerID)
+	return n.startConn(raw, remote)
 }
 
 // trackerLoop announces periodically and connects to discovered peers.
@@ -487,25 +505,44 @@ func (n *Node) trackerLoop() {
 		case <-wd.C:
 			n.expireStalled()
 			n.reapIdleSlots()
+			n.reconnectPeers()
 			n.schedule()
 		}
 	}
 }
 
+// announceAndConnect refreshes swarm membership from the tracker. When
+// the announce fails the node degrades gracefully instead of giving up:
+// it keeps serving and downloading over existing connections, falls back
+// to the peer list cached from the last successful announce, and
+// re-announces on the next tick. Tracker loss and recovery are traced as
+// fault events so timelines can attribute downstream stalls to it.
 func (n *Node) announceAndConnect() {
 	peers, err := n.trk.Announce(n.infoHash, n.peerID, n.Addr(), n.seeder)
 	if err != nil {
+		n.nm.announceFails.Inc()
 		n.cfg.Logf("peer %s: announce: %v", n.peerID, err)
+		n.mu.Lock()
+		wasUp := !n.trackerDown
+		n.trackerDown = true
+		cached := append([]tracker.PeerInfo(nil), n.cachedPeers...)
+		n.mu.Unlock()
+		if wasUp {
+			n.emitAt(n.now(), trace.CatFault, trace.EvTrackerDown, -1)
+		}
+		n.connectKnownPeers(cached)
+		n.schedule()
 		return
 	}
-	for _, p := range peers {
-		if n.hasConn(p.PeerID) {
-			continue
-		}
-		if err := n.Connect(p.Addr); err != nil {
-			n.cfg.Logf("peer %s: connect %s: %v", n.peerID, p.Addr, err)
-		}
+	n.mu.Lock()
+	wasDown := n.trackerDown
+	n.trackerDown = false
+	n.cachedPeers = append(n.cachedPeers[:0], peers...)
+	n.mu.Unlock()
+	if wasDown {
+		n.emitAt(n.now(), trace.CatFault, trace.EvTrackerUp, -1)
 	}
+	n.connectKnownPeers(peers)
 	n.schedule()
 }
 

@@ -1,0 +1,94 @@
+package peer
+
+import (
+	"time"
+
+	"p2psplice/internal/tracker"
+)
+
+// This file holds the node's failure-recovery plumbing: per-address dial
+// backoff so dead peers are not hammered every watchdog tick, and the
+// reconnect pass that keeps a node attached to the swarm through peer
+// churn and tracker outages.
+
+const (
+	// dialBackoffBase is the wait after the first failed dial to an
+	// address; it doubles per consecutive failure up to dialBackoffCap.
+	dialBackoffBase = 500 * time.Millisecond
+	dialBackoffCap  = 15 * time.Second
+)
+
+// dialBackoff tracks consecutive dial failures to one address.
+type dialBackoff struct {
+	failures int
+	next     time.Time // earliest permitted redial
+}
+
+// shouldDialLocked reports whether addr is outside its backoff window
+// (n.mu held).
+func (n *Node) shouldDialLocked(addr string, now time.Time) bool {
+	st := n.dialState[addr]
+	return st == nil || !now.Before(st.next)
+}
+
+// noteDialLocked records a dial outcome: success clears the address's
+// backoff state, failure doubles it (n.mu held).
+func (n *Node) noteDialLocked(addr string, now time.Time, err error) {
+	if err == nil {
+		delete(n.dialState, addr)
+		return
+	}
+	st := n.dialState[addr]
+	if st == nil {
+		st = &dialBackoff{}
+		n.dialState[addr] = st
+	}
+	st.failures++
+	d := dialBackoffBase
+	for i := 1; i < st.failures && d < dialBackoffCap; i++ {
+		d *= 2
+	}
+	if d > dialBackoffCap {
+		d = dialBackoffCap
+	}
+	st.next = now.Add(d)
+}
+
+// connectKnownPeers dials every listed peer this node is not already
+// connected to, skipping addresses still inside a dial-backoff window.
+func (n *Node) connectKnownPeers(peers []tracker.PeerInfo) {
+	for _, p := range peers {
+		if n.hasConn(p.PeerID) {
+			continue
+		}
+		n.mu.Lock()
+		ok := !n.closed && n.shouldDialLocked(p.Addr, time.Now())
+		n.mu.Unlock()
+		if !ok {
+			continue
+		}
+		err := n.Connect(p.Addr)
+		n.mu.Lock()
+		n.noteDialLocked(p.Addr, time.Now(), err)
+		n.mu.Unlock()
+		if err != nil {
+			n.nm.dialFails.Inc()
+			n.cfg.Logf("peer %s: connect %s: %v", n.peerID, p.Addr, err)
+		}
+	}
+}
+
+// reconnectPeers re-dials cached swarm members the node has lost its
+// connection to (watchdog tick). The cache survives tracker outages, so
+// a node keeps healing its connection set even while the tracker is
+// down; backoff keeps the retry cost of a genuinely dead peer bounded.
+func (n *Node) reconnectPeers() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	cached := append([]tracker.PeerInfo(nil), n.cachedPeers...)
+	n.mu.Unlock()
+	n.connectKnownPeers(cached)
+}

@@ -21,6 +21,10 @@ type nodeMetrics struct {
 	expired     trace.Counter
 	stalls      trace.Counter
 	activeDowns trace.Gauge
+	// Recovery-path counters: failed tracker announces and failed peer
+	// dials (post-backoff attempts included).
+	announceFails trace.Counter
+	dialFails     trace.Counter
 }
 
 func newNodeMetrics(r *trace.Registry) nodeMetrics {
@@ -35,6 +39,9 @@ func newNodeMetrics(r *trace.Registry) nodeMetrics {
 		expired:     r.Counter("downloads_expired"),
 		stalls:      r.Counter("stalls"),
 		activeDowns: r.Gauge("active_downloads"),
+
+		announceFails: r.Counter("announce_failures"),
+		dialFails:     r.Counter("dial_failures"),
 	}
 }
 
@@ -97,6 +104,12 @@ func (n *Node) stallCauseLocked() string {
 	}
 	switch {
 	case holders == 0:
+		if n.trackerDown {
+			// No connected peer holds the segment and the tracker is
+			// unreachable, so no new holder can be discovered: the outage
+			// is the binding constraint.
+			return trace.CauseTrackerDown
+		}
 		return trace.CauseNoSource
 	case choked == holders:
 		return trace.CauseChokedSources

@@ -1,0 +1,134 @@
+package simpeer
+
+import (
+	"fmt"
+
+	"p2psplice/internal/fault"
+	"p2psplice/internal/trace"
+)
+
+// This file compiles a fault.Plan against the sim clock and implements
+// the swarm-side fault semantics: crash/rejoin, link flaps and rate
+// dips, and tracker outages. Every injected fault and recovery is a
+// typed CatFault trace event so timelines show fault → stall (or
+// fault → masked) causality.
+
+// compileFaults validates the configured plan and schedules one engine
+// event per fault. An empty plan schedules nothing — the fault layer is
+// provably inert when unused.
+func (s *swarm) compileFaults() error {
+	if s.cfg.Faults.Empty() {
+		return nil
+	}
+	if err := s.cfg.Faults.Validate(len(s.peers) - 1); err != nil {
+		return fmt.Errorf("simpeer: %w", err)
+	}
+	for _, ev := range s.cfg.Faults.Sorted().Events {
+		ev := ev
+		switch ev.Kind {
+		case fault.KindPeerCrash:
+			s.eng.At(ev.At, func() { s.crash(s.peers[ev.Node]) })
+		case fault.KindPeerRejoin:
+			s.eng.At(ev.At, func() { s.rejoin(s.peers[ev.Node]) })
+		case fault.KindLinkDown:
+			s.eng.At(ev.At, func() { s.setLink(s.peers[ev.Node], true) })
+		case fault.KindLinkUp:
+			s.eng.At(ev.At, func() { s.setLink(s.peers[ev.Node], false) })
+		case fault.KindLinkRate:
+			s.eng.At(ev.At, func() { s.setLinkRate(s.peers[ev.Node], ev.BytesPerSec) })
+		case fault.KindTrackerDown:
+			s.eng.At(ev.At, func() { s.setTracker(true) })
+		case fault.KindTrackerUp:
+			s.eng.At(ev.At, func() { s.setTracker(false) })
+		}
+	}
+	return nil
+}
+
+// crash takes a peer (seeder included — node 0 models a seeder outage)
+// abruptly offline: every flow it was part of is cancelled so in-flight
+// segments return to their requesters' pools immediately, instead of
+// waiting out a transfer that will never finish.
+func (s *swarm) crash(p *peerState) {
+	if p.departed || p.crashed {
+		return
+	}
+	p.crashed = true
+	p.crashes++
+	p.lastCrashAt = s.eng.Now()
+	s.emit(p.id, -1, trace.CatFault, trace.EvPeerCrash)
+	s.cancelPeerFlows(p)
+	s.fillAll()
+}
+
+// rejoin brings a crashed peer back with its segment store intact (a
+// process restart, not a fresh install). While the tracker is down the
+// rejoin defers: a restarting peer cannot re-enter the swarm without it.
+func (s *swarm) rejoin(p *peerState) {
+	if p.departed || !p.crashed {
+		return
+	}
+	if s.trackerDown {
+		s.deferred = append(s.deferred, func() { s.rejoin(p) })
+		return
+	}
+	p.crashed = false
+	p.rejoinedAt = s.eng.Now()
+	p.retryAttempt = 0
+	s.emit(p.id, -1, trace.CatFault, trace.EvPeerRejoin)
+	// Its segments are visible again and it wants the rest: refill everyone.
+	s.fillAll()
+}
+
+// setLink downs or restores a peer's access links. Down links freeze
+// flows in place (netem fixes them at rate zero); link-up revives them
+// at the next reallocation and refills every pool, since the returning
+// node may have been somebody's only source.
+func (s *swarm) setLink(p *peerState, down bool) {
+	// Errors are impossible: node IDs come from setup.
+	_ = s.net.SetLinkDown(p.node, down)
+	name := trace.EvLinkUp
+	if down {
+		name = trace.EvLinkDown
+		p.linkDowns++
+		p.lastLinkDownAt = s.eng.Now()
+	} else {
+		p.linkUpAt = s.eng.Now()
+	}
+	s.emit(p.id, -1, trace.CatFault, name)
+	if !down {
+		s.fillAll()
+	}
+}
+
+// setLinkRate degrades or restores a peer's symmetric access rate
+// without downing the link (mirrors BandwidthSchedule semantics: the
+// oracle policy input keeps the configured rate).
+func (s *swarm) setLinkRate(p *peerState, bytesPerSec int64) {
+	// Errors are impossible: the plan validated rate > 0 and the node
+	// IDs come from setup.
+	_ = s.net.SetUplink(p.node, bytesPerSec)
+	_ = s.net.SetDownlink(p.node, bytesPerSec)
+	s.emit(p.id, -1, trace.CatFault, trace.EvLinkRate,
+		trace.Int64("rate", bytesPerSec))
+}
+
+// setTracker starts or ends a tracker outage. Peers already in the
+// swarm keep trading (the tracker is not on the data path); joins and
+// rejoins queue up and drain, in arrival order, on recovery.
+func (s *swarm) setTracker(down bool) {
+	if s.trackerDown == down {
+		return
+	}
+	s.trackerDown = down
+	if down {
+		s.emit(-1, -1, trace.CatFault, trace.EvTrackerDown)
+		return
+	}
+	s.emit(-1, -1, trace.CatFault, trace.EvTrackerUp)
+	q := s.deferred
+	s.deferred = nil
+	for _, fn := range q {
+		fn()
+	}
+}

@@ -1,0 +1,346 @@
+package simpeer
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"p2psplice/internal/fault"
+	"p2psplice/internal/splicer"
+	"p2psplice/internal/trace"
+)
+
+// An explicitly wired empty plan (and zero backoff) must be bit-identical
+// to a run without the fault layer at all.
+func TestEmptyFaultPlanIsInert(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	plain := baseConfig(192 * 1024)
+	plain.Seed = 11
+	plain.LossRate = 0.15
+	bare, err := RunSwarm(plain, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired := plain
+	wired.Faults = fault.Plan{}
+	wired.RetryBackoff = fault.Backoff{}
+	obs, err := RunSwarm(wired, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, obs) {
+		t.Fatalf("results diverge with an empty fault plan wired in:\nbare:  %+v\nwired: %+v", bare, obs)
+	}
+}
+
+// A mid-stream crash must return the crashed peer's in-flight segments to
+// the pool immediately; the survivors finish, the crashed peer rejoins
+// with its store intact and finishes too, but is excluded from Samples.
+func TestPeerCrashAndRejoin(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(256 * 1024)
+	cfg.JoinSpread = 2 * time.Second
+	cfg.Faults = fault.Merge(
+		Plan2CrashRejoin(2, 8*time.Second, 14*time.Second),
+	)
+	buf := trace.NewBuffer()
+	cfg.Tracer = trace.New(buf)
+	res, err := RunSwarm(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed != 1 {
+		t.Fatalf("Crashed = %d, want 1", res.Crashed)
+	}
+	if len(res.Samples) != cfg.Leechers-1 {
+		t.Fatalf("got %d samples, want %d (crashed peer excluded)", len(res.Samples), cfg.Leechers-1)
+	}
+	for _, s := range res.Samples {
+		if s.Peer == 2 {
+			t.Fatal("crashed peer 2 appears in Samples")
+		}
+		if !s.Finished {
+			t.Errorf("survivor peer %d did not finish through the crash", s.Peer)
+		}
+	}
+	var crashed *PeerResult
+	for i := range res.Peers {
+		if res.Peers[i].Peer == 2 {
+			crashed = &res.Peers[i]
+		}
+	}
+	if crashed == nil || crashed.Crashes != 1 {
+		t.Fatalf("peer 2 result %+v, want Crashes=1", crashed)
+	}
+	names := map[string]int{}
+	for _, ev := range buf.Events() {
+		names[ev.Name]++
+	}
+	if names[trace.EvPeerCrash] != 1 || names[trace.EvPeerRejoin] != 1 {
+		t.Errorf("crash/rejoin events = %d/%d, want 1/1", names[trace.EvPeerCrash], names[trace.EvPeerRejoin])
+	}
+	if names[trace.EvFlowCancel] == 0 {
+		t.Error("a crash mid-download should cancel flows; no flow_cancel events")
+	}
+}
+
+// Plan2CrashRejoin builds a crash/rejoin pair for one node (test helper
+// kept exported-free of init-order issues).
+func Plan2CrashRejoin(node int, down, up time.Duration) fault.Plan {
+	return fault.Plan{Events: []fault.Event{
+		{At: down, Kind: fault.KindPeerCrash, Node: node},
+		{At: up, Kind: fault.KindPeerRejoin, Node: node},
+	}}
+}
+
+// The swarm survives a seeder outage: peers that already hold segments
+// serve the rest, and downloads blocked on seeder-only segments resume
+// on rejoin. Everyone finishes.
+func TestSeederOutageSurvived(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(256 * 1024)
+	cfg.JoinSpread = 2 * time.Second
+	cfg.Faults = fault.SeederOutage(10*time.Second, 8*time.Second)
+	res, err := RunSwarm(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seeder is not a leecher: its crash must not shrink Samples.
+	if len(res.Samples) != cfg.Leechers {
+		t.Fatalf("got %d samples, want %d", len(res.Samples), cfg.Leechers)
+	}
+	if res.Crashed != 0 {
+		t.Fatalf("Crashed = %d, want 0 (only the seeder crashed)", res.Crashed)
+	}
+	for _, s := range res.Samples {
+		if !s.Finished {
+			t.Errorf("peer %d did not finish through the seeder outage", s.Peer)
+		}
+	}
+}
+
+// Joins arriving during a tracker outage defer until recovery, then the
+// swarm proceeds normally.
+func TestTrackerOutageDefersJoins(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(256 * 1024)
+	cfg.JoinSpread = 2 * time.Second // all joins land inside the outage
+	cfg.Faults = fault.TrackerOutage(0, 5*time.Second)
+	buf := trace.NewBuffer()
+	cfg.Tracer = trace.New(buf)
+	res, err := RunSwarm(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != cfg.Leechers {
+		t.Fatalf("got %d samples, want %d", len(res.Samples), cfg.Leechers)
+	}
+	for _, s := range res.Samples {
+		if !s.Finished {
+			t.Errorf("peer %d did not finish after the deferred join", s.Peer)
+		}
+	}
+	// No peer can have joined (started playing) before the outage ended.
+	for _, ev := range buf.Events() {
+		if ev.Name == trace.EvStartup && ev.At < 5*time.Second {
+			t.Errorf("peer %d started at %v, inside the tracker outage", ev.Peer, ev.At)
+		}
+	}
+}
+
+// A seeded fault plan is part of the deterministic state: two runs with
+// the same config produce identical results, traces included.
+func TestFaultedRunDeterministic(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(192 * 1024)
+	cfg.JoinSpread = 2 * time.Second
+	cfg.Faults = fault.Merge(
+		fault.Churn(cfg.Seed, []int{1, 3}, time.Minute, 15*time.Second, 4*time.Second),
+		fault.SeederOutage(12*time.Second, 5*time.Second),
+		fault.LinkFlap(2, 6*time.Second, 4*time.Second),
+	)
+	cfg.RetryBackoff = fault.Backoff{Base: 200 * time.Millisecond, Cap: 2 * time.Second, JitterFrac: 0.5}
+	bufA := trace.NewBuffer()
+	a := cfg
+	a.Tracer = trace.New(bufA)
+	ra, err := RunSwarm(a, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB := trace.NewBuffer()
+	b := cfg
+	b.Tracer = trace.New(bufB)
+	rb, err := RunSwarm(b, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("faulted runs diverge between identical configs")
+	}
+	if !reflect.DeepEqual(bufA.Events(), bufB.Events()) {
+		t.Fatal("faulted run traces diverge between identical configs")
+	}
+}
+
+// Every stall in a heavily-faulted run carries a cause, and the
+// fault-derived causes actually appear.
+func TestFaultedStallAttribution(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, time.Minute, 2)
+	cfg := baseConfig(128 * 1024)
+	cfg.Seed = 7
+	cfg.JoinSpread = 2 * time.Second
+	cfg.Faults = fault.Merge(
+		// Seeder outage with the tracker also down: sourceless stalls
+		// during the overlap attribute to the tracker (the binding
+		// constraint on rediscovery), afterwards to the crashed seeder.
+		fault.SeederOutage(10*time.Second, 20*time.Second),
+		fault.TrackerOutage(10*time.Second, 8*time.Second),
+		// A mid-download link flap on leecher 2.
+		fault.LinkFlap(2, 35*time.Second, 6*time.Second),
+	)
+	buf := trace.NewBuffer()
+	cfg.Tracer = trace.New(buf)
+	if _, err := RunSwarm(cfg, segs); err != nil {
+		t.Fatal(err)
+	}
+	tls := trace.BuildTimeline(buf.Events())
+	if un := trace.Unattributed(tls); len(un) > 0 {
+		t.Fatalf("%d unattributed stalls under faults: %+v", len(un), un)
+	}
+	causes := map[string]int{}
+	stalls := 0
+	for _, tl := range tls {
+		for _, st := range tl.Stalls {
+			causes[st.Cause]++
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("a 20s seeder outage at 128 kB/s must stall someone")
+	}
+	if causes[trace.CausePeerCrash] == 0 && causes[trace.CauseTrackerDown] == 0 {
+		t.Errorf("no peer_crash or tracker_down stalls despite a 20s seeder outage; causes: %v", causes)
+	}
+	if causes[trace.CauseLinkDown] == 0 {
+		t.Logf("note: no link_down stalls at this seed (flap was masked); causes: %v", causes)
+	}
+}
+
+// A peer whose own link flaps mid-download attributes its stalls to the
+// link, and finishes once the link returns.
+func TestLinkFlapAttributionAndRecovery(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(96 * 1024)
+	cfg.Leechers = 2
+	cfg.JoinSpread = time.Second
+	cfg.Faults = fault.LinkFlap(1, 8*time.Second, 10*time.Second)
+	buf := trace.NewBuffer()
+	cfg.Tracer = trace.New(buf)
+	res, err := RunSwarm(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if !s.Finished {
+			t.Errorf("peer %d did not finish after the link flap", s.Peer)
+		}
+	}
+	tls := trace.BuildTimeline(buf.Events())
+	if un := trace.Unattributed(tls); len(un) > 0 {
+		t.Fatalf("%d unattributed stalls: %+v", len(un), un)
+	}
+	linkDown := 0
+	for _, tl := range tls {
+		if tl.Peer != 1 {
+			continue
+		}
+		for _, st := range tl.Stalls {
+			if st.Cause == trace.CauseLinkDown {
+				linkDown++
+			}
+		}
+	}
+	if linkDown == 0 {
+		t.Error("a 10s link outage at 96 kB/s must produce a link_down stall on peer 1")
+	}
+	names := map[string]int{}
+	for _, ev := range buf.Events() {
+		names[ev.Name]++
+	}
+	if names[trace.EvLinkDown] != 1 || names[trace.EvLinkUp] != 1 {
+		t.Errorf("link events = %d down / %d up, want 1 / 1", names[trace.EvLinkDown], names[trace.EvLinkUp])
+	}
+}
+
+// Satellite: a leecher departing mid-transfer (churn) must cancel its
+// flows — both directions — and the remaining swarm finishes.
+func TestDepartWhileDownloading(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, time.Minute, 3)
+	cfg := baseConfig(128 * 1024)
+	cfg.Leechers = 5
+	cfg.JoinSpread = 2 * time.Second
+	cfg.Churn = ChurnModel{MeanOnline: 20 * time.Second, MinRemaining: 2}
+	buf := trace.NewBuffer()
+	cfg.Tracer = trace.New(buf)
+	res, err := RunSwarm(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departed == 0 {
+		t.Fatal("mean-20s churn over a 1-minute clip produced no departures at this seed; pick another seed")
+	}
+	if len(res.Samples)+res.Departed != cfg.Leechers {
+		t.Fatalf("samples (%d) + departed (%d) != leechers (%d)", len(res.Samples), res.Departed, cfg.Leechers)
+	}
+	for _, s := range res.Samples {
+		if !s.Finished {
+			t.Errorf("survivor peer %d did not finish after departures", s.Peer)
+		}
+	}
+	cancels := 0
+	for _, ev := range buf.Events() {
+		if ev.Name == trace.EvFlowCancel {
+			cancels++
+		}
+	}
+	if cancels == 0 {
+		t.Error("departures in a busy swarm should cancel in-flight flows; no flow_cancel events")
+	}
+}
+
+// An invalid plan is rejected before the run starts.
+func TestInvalidPlanRejected(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(256 * 1024)
+	cfg.Faults = fault.Plan{Events: []fault.Event{
+		{At: time.Second, Kind: fault.KindPeerCrash, Node: 1}, // never rejoins
+	}}
+	if _, err := RunSwarm(cfg, segs); err == nil {
+		t.Fatal("RunSwarm accepted a plan with an unclosed crash window")
+	}
+	cfg.Faults = fault.SeederOutage(0, time.Second)
+	cfg.Faults.Events[0].Node = 99
+	cfg.Faults.Events[1].Node = 99
+	if _, err := RunSwarm(cfg, segs); err == nil {
+		t.Fatal("RunSwarm accepted a plan addressing a nonexistent node")
+	}
+}
+
+// Backoff-enabled retries still converge: a swarm with aggressive churn
+// and exponential retry backoff completes for the survivors.
+func TestBackoffRetryCompletes(t *testing.T) {
+	segs := segmentsFor(t, splicer.DurationSplicer{Target: 4 * time.Second}, 30*time.Second, 1)
+	cfg := baseConfig(192 * 1024)
+	cfg.JoinSpread = 2 * time.Second
+	cfg.Faults = fault.Churn(cfg.Seed, []int{1, 3}, 40*time.Second, 12*time.Second, 3*time.Second)
+	cfg.RetryBackoff = fault.Backoff{Base: 200 * time.Millisecond, Cap: 2 * time.Second, JitterFrac: 0.5}
+	res, err := RunSwarm(cfg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if !s.Finished {
+			t.Errorf("never-crashed peer %d did not finish under churn with backoff", s.Peer)
+		}
+	}
+}

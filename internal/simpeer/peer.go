@@ -42,6 +42,24 @@ type peerState struct {
 	joined   time.Duration
 	departed bool
 
+	// Crash state (fault plans only). A crashed peer keeps its segment
+	// store across rejoin (process-restart model) but serves and fetches
+	// nothing while down. lastCrashAt/rejoinedAt bound the most recent
+	// outage so retroactively-observed player stalls inside the window
+	// attribute to the crash.
+	crashed     bool
+	crashes     int
+	lastCrashAt time.Duration
+	rejoinedAt  time.Duration
+	// Link-flap window bounds, kept for the same retroactive stall
+	// attribution (netem owns the live down/up flag).
+	linkDowns      int
+	lastLinkDownAt time.Duration
+	linkUpAt       time.Duration
+	// retryAttempt counts consecutive blocked fills for backoff; any
+	// successful launch resets it.
+	retryAttempt int
+
 	// lastSrc is the source of this peer's most recent download. Peers keep
 	// stable relationships (the unchoke pairs of a piece-level protocol stay
 	// put for tens of seconds), which keeps the distribution chain — and
@@ -131,11 +149,22 @@ func (s *swarm) nextWanted(p *peerState) int {
 func (s *swarm) holderCount(idx int) int {
 	n := 0
 	for _, q := range s.peers {
-		if !q.departed && q.have[idx] {
+		if !q.departed && !q.crashed && q.have[idx] {
 			n++
 		}
 	}
 	return n
+}
+
+// crashedHolder reports whether a currently-crashed peer holds segment
+// idx — the stall-attribution signal for "my source crashed".
+func (s *swarm) crashedHolder(idx int) bool {
+	for _, q := range s.peers {
+		if q.crashed && q.have[idx] {
+			return true
+		}
+	}
+	return false
 }
 
 // uploadSlots resolves the per-peer upload cap: the configured value, the
@@ -190,7 +219,7 @@ const sourceRetryDelay = 250 * time.Millisecond
 
 // eligible reports whether q can serve segment idx to p right now.
 func (s *swarm) eligible(p, q *peerState, idx int) bool {
-	if q == p || q.departed {
+	if q == p || q.departed || q.crashed || s.net.LinkIsDown(q.node) {
 		return false
 	}
 	if s.sourceProgress(q, idx) < 0 {
@@ -253,7 +282,7 @@ func (s *swarm) cdnEligible(p *peerState) bool {
 // cancellation, departure); when a wanted segment has no eligible source it
 // schedules a short retry.
 func (s *swarm) fill(p *peerState) {
-	if p.isSeeder || p.departed {
+	if p.isSeeder || p.departed || p.crashed || s.net.LinkIsDown(p.node) {
 		return
 	}
 	now := s.eng.Now()
@@ -285,6 +314,9 @@ func (s *swarm) fill(p *peerState) {
 			blocked = true
 		}
 	}
+	if launched > 0 {
+		p.retryAttempt = 0
+	}
 	if s.cfg.Tracer.Enabled() {
 		flag := int64(0)
 		if blocked {
@@ -301,10 +333,22 @@ func (s *swarm) fill(p *peerState) {
 	}
 	if blocked && !p.retryPending {
 		p.retryPending = true
-		if s.cfg.Tracer.Enabled() {
-			s.emit(p.id, next, trace.CatPool, trace.EvSourceRetry)
+		// Legacy fixed retry unless backoff is opted in: capped exponential
+		// with deterministic jitter (a pure hash of seed/peer/attempt, never
+		// the engine RNG, so enabling it perturbs no other draw).
+		delay := sourceRetryDelay
+		attempt := 0
+		if s.cfg.RetryBackoff.Enabled() {
+			attempt = p.retryAttempt
+			delay = s.cfg.RetryBackoff.Delay(s.cfg.Seed, p.id, attempt)
+			p.retryAttempt++
 		}
-		s.eng.Schedule(sourceRetryDelay, func() {
+		if s.cfg.Tracer.Enabled() {
+			s.emit(p.id, next, trace.CatPool, trace.EvSourceRetry,
+				trace.Int64("delay_us", delay.Microseconds()),
+				trace.Int64("attempt", int64(attempt)))
+		}
+		s.eng.Schedule(delay, func() {
 			p.retryPending = false
 			if !p.departed {
 				s.fill(p)

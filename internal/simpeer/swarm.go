@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"p2psplice/internal/core"
+	"p2psplice/internal/fault"
 	"p2psplice/internal/metrics"
 	"p2psplice/internal/netem"
 	"p2psplice/internal/player"
@@ -129,6 +130,19 @@ type SwarmConfig struct {
 	FreshConnectionPerSegment bool
 	// Churn optionally makes leechers depart.
 	Churn ChurnModel
+	// Faults optionally injects a deterministic schedule of fault events
+	// (peer crash/rejoin, link flaps and rate dips, tracker outages),
+	// compiled against the sim clock at setup. The plan must validate
+	// against the swarm's node count and have closed windows (every crash
+	// paired with a rejoin, etc. — see fault.Plan.Validate). An empty plan
+	// schedules nothing: the run is bit-identical to one without the
+	// fault layer, which the golden tests enforce.
+	Faults fault.Plan
+	// RetryBackoff optionally replaces the fixed source-retry delay with
+	// capped exponential backoff and deterministic jitter (hashed from
+	// seed, peer, and attempt — never the engine RNG). The zero value
+	// keeps the legacy fixed 250 ms retry, preserving existing goldens.
+	RetryBackoff fault.Backoff
 	// CDN optionally adds the paper's Section IV hybrid architecture: a
 	// CDN node holding every segment. Peers prefer swarm sources and fall
 	// back to the CDN, and — per the paper — each client downloads at most
@@ -207,20 +221,27 @@ func (c SwarmConfig) validate() error {
 type PeerResult struct {
 	Peer     int
 	Departed bool
-	Metrics  player.Metrics
+	// Crashes counts how many times an injected fault took this peer down.
+	Crashes int
+	Metrics player.Metrics
 }
 
 // Result is the outcome of one emulated run.
 type Result struct {
-	// Samples holds one entry per leecher that stayed in the swarm,
-	// in peer order.
+	// Samples holds one entry per leecher that stayed in the swarm and
+	// never crashed, in peer order. Crashed peers are excluded because a
+	// crash window is dead air, not a playback stall.
 	Samples []metrics.PlaybackSample
-	// Peers holds detailed per-leecher results (departed peers included).
+	// Peers holds detailed per-leecher results (departed and crashed
+	// peers included).
 	Peers []PeerResult
 	// EndTime is the virtual time at which the last event fired.
 	EndTime time.Duration
 	// Departed counts churned-out leechers.
 	Departed int
+	// Crashed counts leechers that suffered at least one injected crash
+	// (and did not also depart).
+	Crashed int
 }
 
 // Summary aggregates the non-departed samples.
@@ -280,6 +301,10 @@ type swarm struct {
 	nodeToPeer map[netem.NodeID]int
 	// eventsFired counts engine events; maintained only when tracing.
 	eventsFired int64
+	// trackerDown marks an injected tracker outage: joins and rejoins
+	// defer into the queue below until recovery drains it.
+	trackerDown bool
+	deferred    []func()
 }
 
 // nodePlan resolves the per-node link parameters, either from the scalar
@@ -443,12 +468,18 @@ func (s *swarm) setup() error {
 		}
 		s.cross = append(s.cross, f)
 	}
-	return nil
+	return s.compileFaults()
 }
 
 // join starts a leecher: the viewer presses play, the peer fetches the
 // manifest from the seeder, and then downloading begins.
 func (s *swarm) join(p *peerState) {
+	if s.trackerDown {
+		// No tracker, no swarm entry: the join completes when the outage
+		// ends (tracker-up drains the queue in arrival order).
+		s.deferred = append(s.deferred, func() { s.join(p) })
+		return
+	}
 	p.joined = s.eng.Now()
 	if s.cfg.Tracer.Enabled() {
 		p.player.SetObserver(func(tr player.Transition) { s.onPlayerTransition(p, tr) })
@@ -489,6 +520,15 @@ func (s *swarm) depart(p *peerState) {
 		return
 	}
 	p.departed = true
+	s.cancelPeerFlows(p)
+	s.fillAll()
+}
+
+// cancelPeerFlows severs a peer from the swarm's data plane: its own
+// downloads and every upload it was serving are cancelled, returning
+// the affected segments to their requesters' pools immediately (no
+// timeout wait). Shared by departure (churn) and crash (fault plan).
+func (s *swarm) cancelPeerFlows(p *peerState) {
 	// Abort this peer's downloads, returning the upload slots it held.
 	// Iterate in sorted key order: map order is randomized and cancellation
 	// order influences event sequencing, which must stay deterministic.
@@ -515,7 +555,6 @@ func (s *swarm) depart(p *peerState) {
 			}
 		}
 	}
-	s.fillAll()
 }
 
 // fillAll re-runs the scheduling decision for every active leecher, in peer
@@ -541,9 +580,13 @@ func (s *swarm) collect() *Result {
 	res := &Result{EndTime: end}
 	for _, p := range s.peers[1:] {
 		m := p.player.Metrics(horizon)
-		res.Peers = append(res.Peers, PeerResult{Peer: p.id, Departed: p.departed, Metrics: m})
+		res.Peers = append(res.Peers, PeerResult{Peer: p.id, Departed: p.departed, Crashes: p.crashes, Metrics: m})
 		if p.departed {
 			res.Departed++
+			continue
+		}
+		if p.crashes > 0 {
+			res.Crashed++
 			continue
 		}
 		res.Samples = append(res.Samples, metrics.PlaybackSample{

@@ -70,7 +70,7 @@ func (s *swarm) onPlayerTransition(p *peerState, tr player.Transition) {
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStartup,
 			trace.Int64("startup_us", (tr.At-p.joined).Microseconds()))
 	case tr.To == player.StateStalled:
-		cause, inflight, frozen := s.classifyStall(p)
+		cause, inflight, frozen := s.classifyStall(p, tr.At)
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallBegin)
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallCause,
 			trace.Str("cause", cause),
@@ -84,12 +84,36 @@ func (s *swarm) onPlayerTransition(p *peerState, tr player.Transition) {
 }
 
 // classifyStall inspects the stalling peer's download pool with pure
-// reads only (in particular flow.Frozen, never flow.Remaining, which
-// advances flow progress).
-func (s *swarm) classifyStall(p *peerState) (cause string, inflight, frozen int) {
+// reads only (in particular flow.Frozen and flow.LinkDown, never
+// flow.Remaining, which advances flow progress). at is the stall's own
+// timestamp: player transitions surface lazily, so a stall observed
+// after a rejoin may have begun inside the crash window.
+func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inflight, frozen int) {
 	inflight = len(p.inFlight)
+	// The peer itself is (or was, at the stall's timestamp) crashed:
+	// the outage is the cause regardless of pool state.
+	if p.crashed || (p.crashes > 0 && at >= p.lastCrashAt && at < p.rejoinedAt) {
+		return trace.CausePeerCrash, inflight, 0
+	}
+	// The peer's own access link is (or was, at the stall's timestamp)
+	// administratively down: nothing can move whether or not downloads
+	// are in flight.
+	if s.net.LinkIsDown(p.node) ||
+		(p.linkDowns > 0 && at >= p.lastLinkDownAt && at < p.linkUpAt) {
+		return trace.CauseLinkDown, inflight, 0
+	}
 	if inflight == 0 {
 		if next := s.nextWanted(p); next >= 0 && s.holderCount(next) == 0 {
+			if s.trackerDown {
+				// No live holder and no tracker to discover one through:
+				// the tracker is the binding constraint, whatever took the
+				// holders away.
+				return trace.CauseTrackerDown, 0, 0
+			}
+			if s.crashedHolder(next) {
+				// A crashed peer holds it; the swarm lost the source.
+				return trace.CausePeerCrash, 0, 0
+			}
 			return trace.CauseNoSource, 0, 0
 		}
 		if p.retryPending {
@@ -101,10 +125,19 @@ func (s *swarm) classifyStall(p *peerState) (cause string, inflight, frozen int)
 		// left the pool empty.
 		return trace.CauseEmptyPool, 0, 0
 	}
+	linkDown := 0
 	for _, d := range p.inFlight {
 		if d.flow.Frozen() {
 			frozen++
 		}
+		if d.flow.LinkDown() {
+			linkDown++
+		}
+	}
+	if linkDown == inflight {
+		// Every in-flight download rides a downed link (the sources'
+		// side — the peer's own link was handled above).
+		return trace.CauseLinkDown, inflight, frozen
 	}
 	if frozen > 0 {
 		return trace.CauseFrozenFlow, inflight, frozen

@@ -24,6 +24,7 @@ const (
 	CatPool   = "pool"
 	CatPlayer = "player"
 	CatSched  = "sched"
+	CatFault  = "fault"
 )
 
 // Canonical event names. Emitters and the timeline/attribution tooling
@@ -59,6 +60,17 @@ const (
 
 	// Run summary (CatSim).
 	EvSimSummary = "sim_summary"
+
+	// Injected faults and their recoveries (CatFault). Every event a
+	// fault.Plan fires is traced, so timelines show fault → stall (or
+	// fault → masked) causality end to end.
+	EvPeerCrash   = "peer_crash"
+	EvPeerRejoin  = "peer_rejoin"
+	EvLinkDown    = "link_down"
+	EvLinkUp      = "link_up"
+	EvLinkRate    = "link_rate"
+	EvTrackerDown = "tracker_down"
+	EvTrackerUp   = "tracker_up"
 )
 
 // Stall causes attached to EvStallCause events. Every stall must carry
@@ -78,6 +90,16 @@ const (
 	// CauseSlowFlow: downloads were in flight and moving, just slower
 	// than playback.
 	CauseSlowFlow = "slow_flow"
+	// CausePeerCrash: the stalled peer itself is crashed (its player
+	// observes the stall retroactively at rejoin), or the only holders of
+	// its next segment are crashed.
+	CausePeerCrash = "peer_crash"
+	// CauseLinkDown: the peer's own link is administratively down, or
+	// every in-flight download rides a downed link.
+	CauseLinkDown = "link_down"
+	// CauseTrackerDown: no source is known for the next segment and the
+	// tracker is unavailable, so no new sources can be discovered.
+	CauseTrackerDown = "tracker_down"
 )
 
 // ArgKind discriminates an Arg's payload.

@@ -3,20 +3,82 @@ package tracker
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"p2psplice/internal/container"
 	"p2psplice/internal/wire"
 )
 
-// Client talks to a tracker over HTTP.
+// Error is a classified tracker failure. Transport failures and
+// timeouts, 5xx statuses, 408, and 429 are transient (the caller may
+// retry); other 4xx statuses are permanent (retrying the same request
+// cannot help — fail fast).
+type Error struct {
+	Op        string // "GET /announce" etc.
+	Status    int    // HTTP status; 0 for transport errors
+	Transient bool
+	Err       error // underlying cause
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("tracker: %s: %s error: %v", e.Op, kind, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a tracker error worth retrying.
+// A nil or non-tracker error reports false.
+func IsTransient(err error) bool {
+	var te *Error
+	return errors.As(err, &te) && te.Transient
+}
+
+// transientStatus classifies HTTP statuses: all 5xx plus 408 (request
+// timeout) and 429 (rate limited) are retryable; everything else
+// non-2xx is a permanent caller error.
+func transientStatus(code int) bool {
+	return code/100 == 5 || code == http.StatusRequestTimeout || code == http.StatusTooManyRequests
+}
+
+// RetryPolicy bounds the client's transparent retries of transient
+// failures. Delays double from BaseDelay up to MaxDelay between
+// attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry. Default 100 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling. Default 2 s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is what NewClient installs: three attempts with
+// 100 ms → 200 ms backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// Client talks to a tracker over HTTP. Transient failures (timeouts,
+// 5xx) are retried per the RetryPolicy; permanent failures (4xx) fail
+// fast. Client is not safe for concurrent SetRetry during use.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	sleep func(time.Duration) // injectable for tests
 }
 
 // NewClient returns a client for the tracker at base (e.g.
@@ -25,22 +87,73 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{base: base, http: httpClient}
+	return &Client{base: base, http: httpClient, retry: DefaultRetryPolicy(), sleep: time.Sleep}
 }
 
-func (c *Client) do(req *http.Request) ([]byte, error) {
+// SetRetry replaces the retry policy (RetryPolicy{} disables retries).
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// do issues method on path, retrying transient failures. The request is
+// rebuilt from payload on every attempt — an *http.Request body is
+// consumed by the first try, which is why do takes raw bytes rather
+// than a request.
+func (c *Client) do(method, path, contentType string, payload []byte) ([]byte, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.retry.BaseDelay << (attempt - 1)
+			if c.retry.MaxDelay > 0 && delay > c.retry.MaxDelay {
+				delay = c.retry.MaxDelay
+			}
+			if delay > 0 {
+				c.sleep(delay)
+			}
+		}
+		body, err := c.once(method, path, contentType, payload)
+		if err == nil {
+			return body, nil
+		}
+		last = err
+		if !IsTransient(err) {
+			return nil, err
+		}
+	}
+	return nil, last
+}
+
+// once performs a single classified request attempt.
+func (c *Client) once(method, path, contentType string, payload []byte) ([]byte, error) {
+	op := method + " " + strings.SplitN(path, "?", 2)[0]
+	var reqBody io.Reader
+	if payload != nil {
+		reqBody = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, c.base+path, reqBody)
+	if err != nil {
+		return nil, &Error{Op: op, Err: err}
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("tracker: %s %s: %w", req.Method, req.URL.Path, err)
+		// Transport errors — refused connections, timeouts, resets — are
+		// exactly the "tracker briefly down" class retries exist for.
+		return nil, &Error{Op: op, Transient: true, Err: err}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxManifestBytes+1))
 	if err != nil {
-		return nil, fmt.Errorf("tracker: read response: %w", err)
+		return nil, &Error{Op: op, Status: resp.StatusCode, Transient: true,
+			Err: fmt.Errorf("read response: %w", err)}
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("tracker: %s %s: %s: %s",
-			req.Method, req.URL.Path, resp.Status, bytes.TrimSpace(body))
+		return nil, &Error{Op: op, Status: resp.StatusCode, Transient: transientStatus(resp.StatusCode),
+			Err: fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))}
 	}
 	return body, nil
 }
@@ -55,12 +168,7 @@ func (c *Client) Publish(m *container.Manifest) (wire.InfoHash, error) {
 		return ih, fmt.Errorf("tracker: encode manifest: %w", err)
 	}
 	raw := buf.Bytes()
-	req, err := http.NewRequest(http.MethodPost, c.base+"/publish", bytes.NewReader(raw))
-	if err != nil {
-		return ih, fmt.Errorf("tracker: build request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	body, err := c.do(req)
+	body, err := c.do(http.MethodPost, "/publish", "application/json", raw)
 	if err != nil {
 		return ih, err
 	}
@@ -82,11 +190,7 @@ func (c *Client) Publish(m *container.Manifest) (wire.InfoHash, error) {
 
 // Manifest fetches and validates the swarm's manifest.
 func (c *Client) Manifest(ih wire.InfoHash) (*container.Manifest, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/manifest?info_hash="+ih.String(), nil)
-	if err != nil {
-		return nil, fmt.Errorf("tracker: build request: %w", err)
-	}
-	body, err := c.do(req)
+	body, err := c.do(http.MethodGet, "/manifest?info_hash="+ih.String(), "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -107,11 +211,7 @@ func (c *Client) Announce(ih wire.InfoHash, peerID wire.PeerID, addr string, see
 	if seeder {
 		q.Set("seeder", "1")
 	}
-	req, err := http.NewRequest(http.MethodGet, c.base+"/announce?"+q.Encode(), nil)
-	if err != nil {
-		return nil, fmt.Errorf("tracker: build request: %w", err)
-	}
-	body, err := c.do(req)
+	body, err := c.do(http.MethodGet, "/announce?"+q.Encode(), "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -127,10 +227,6 @@ func (c *Client) Leave(ih wire.InfoHash, peerID wire.PeerID) error {
 	q := url.Values{}
 	q.Set("info_hash", ih.String())
 	q.Set("peer_id", peerID.String())
-	req, err := http.NewRequest(http.MethodPost, c.base+"/leave?"+q.Encode(), nil)
-	if err != nil {
-		return fmt.Errorf("tracker: build request: %w", err)
-	}
-	_, err = c.do(req)
+	_, err := c.do(http.MethodPost, "/leave?"+q.Encode(), "", nil)
 	return err
 }
