@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint fuzz-smoke bench-json trace-smoke fault-smoke
+.PHONY: all build test race vet lint fuzz-smoke bench-json trace-smoke fault-smoke metrics-smoke
 
 all: build vet lint test
 
@@ -30,12 +30,27 @@ bench-json:
 	$(GO) test -run='^$$' -bench='^BenchmarkFig' -benchtime=1x .
 
 # trace-smoke: regenerate Figure 2 at quick scale with per-cell trace
-# artifacts (JSONL + Chrome trace + stall timeline) into trace-quick/.
+# artifacts (JSONL + Chrome trace + stall timeline) into trace-quick/,
+# then prove the splicetrace analyzer over them: 100% stall attribution
+# and a byte-identical report across repeated runs. report.json is the
+# aggregate cmd/experiment wrote; splicetrace must reproduce it exactly.
 # Figure values are bit-identical with tracing on or off (DESIGN.md §8).
 trace-smoke:
 	$(GO) run ./cmd/experiment -quick -figure 2 -trace trace-quick > /dev/null
 	@ls trace-quick | head -6
 	@echo "trace-smoke: $$(ls trace-quick | wc -l) artifacts in trace-quick/"
+	$(GO) run ./cmd/splicetrace report trace-quick -require-attributed > trace-report.txt
+	$(GO) run ./cmd/splicetrace report trace-quick -json -o trace-report-a.json
+	$(GO) run ./cmd/splicetrace report trace-quick -json -o trace-report-b.json
+	cmp trace-report-a.json trace-report-b.json
+	cmp trace-report-a.json trace-quick/report.json
+	@echo "trace-smoke: splicetrace report fully attributed and byte-stable"
+
+# metrics-smoke: launch the quickstart real-TCP swarm with -debug-addr,
+# wait for /healthz, and validate the /metrics Prometheus exposition
+# (parses + key QoE/transport series present) via `splicetrace scrape`.
+metrics-smoke:
+	GO="$(GO)" sh scripts/metrics-smoke.sh
 
 # fault-smoke: the churn figure (seeded fault injection) must be
 # bit-reproducible. Run the quick-scale sweep twice at workers=1 and

@@ -23,6 +23,7 @@ import (
 	"p2psplice/internal/shaper"
 	"p2psplice/internal/simpeer"
 	"p2psplice/internal/splicer"
+	"p2psplice/internal/tracereport"
 )
 
 func main() {
@@ -78,6 +79,12 @@ func main() {
 		if err := runAblation(p, *ablation); err != nil {
 			fmt.Fprintln(os.Stderr, "experiment:", err)
 			os.Exit(1)
+		}
+		if *traceDir != "" {
+			if err := writeTraceReport(*traceDir); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -141,6 +148,12 @@ func main() {
 			}
 		}
 	}
+	if *traceDir != "" {
+		if err := writeTraceReport(*traceDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		report.ElapsedMS = time.Since(start).Milliseconds()
 		enc := json.NewEncoder(os.Stdout)
@@ -181,6 +194,32 @@ type jsonFigure struct {
 	XLabel string               `json:"xlabel"`
 	X      []string             `json:"x"`
 	Series map[string][]float64 `json:"series"`
+}
+
+// writeTraceReport makes a sweep's trace directory self-describing: the
+// aggregate stall-cause/QoE analysis lands next to the raw artifacts as
+// report.json, the same report `splicetrace report -json DIR` renders.
+// The analyzer is deterministic over a deterministic trace set, so the
+// file is bit-identical across runs and -workers values.
+func writeTraceReport(dir string) error {
+	a, err := tracereport.AnalyzeDir(dir)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "report.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracereport.WriteJSON(f, a.Report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return nil
 }
 
 // writeCSV saves a figure's data under dir/figure-<key>.csv.

@@ -7,6 +7,7 @@
 //	peer -tracker http://127.0.0.1:7070 -info-hash HEX
 //	     [-policy adaptive|pool-2|pool-4|pool-8] [-listen 127.0.0.1:0]
 //	     [-shape-kbps 128] [-shape-latency 25ms] [-progress] [-trace FILE]
+//	     [-debug-addr 127.0.0.1:6060] [-metrics-log 30s]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"p2psplice/internal/core"
+	"p2psplice/internal/debughttp"
 	"p2psplice/internal/peer"
 	"p2psplice/internal/player"
 	"p2psplice/internal/shaper"
@@ -27,20 +29,36 @@ import (
 	"p2psplice/internal/wire"
 )
 
+// options collects the command-line configuration for run.
+type options struct {
+	trackerURL string
+	infoHash   string
+	policyName string
+	listen     string
+	shapeKBps  int64
+	shapeLat   time.Duration
+	progress   bool
+	timeout    time.Duration
+	tracePath  string
+	debugAddr  string
+	metricsLog time.Duration
+}
+
 func main() {
-	var (
-		trackerURL = flag.String("tracker", "http://127.0.0.1:7070", "tracker base URL")
-		infoHash   = flag.String("info-hash", "", "swarm info hash (hex)")
-		policyName = flag.String("policy", "adaptive", "download policy: adaptive or pool-N")
-		listen     = flag.String("listen", "127.0.0.1:0", "peer listen address")
-		shapeKBps  = flag.Int64("shape-kbps", 0, "shape the access link to this many kB/s (0 = unshaped)")
-		shapeLat   = flag.Duration("shape-latency", 0, "access-link setup latency")
-		progress   = flag.Bool("progress", false, "print download progress")
-		timeout    = flag.Duration("timeout", 30*time.Minute, "abort if not complete after this long")
-		tracePath  = flag.String("trace", "", "stream trace events to this file as JSONL and print the counter registry on exit")
-	)
+	var o options
+	flag.StringVar(&o.trackerURL, "tracker", "http://127.0.0.1:7070", "tracker base URL")
+	flag.StringVar(&o.infoHash, "info-hash", "", "swarm info hash (hex)")
+	flag.StringVar(&o.policyName, "policy", "adaptive", "download policy: adaptive or pool-N")
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:0", "peer listen address")
+	flag.Int64Var(&o.shapeKBps, "shape-kbps", 0, "shape the access link to this many kB/s (0 = unshaped)")
+	flag.DurationVar(&o.shapeLat, "shape-latency", 0, "access-link setup latency")
+	flag.BoolVar(&o.progress, "progress", false, "print download progress")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Minute, "abort if not complete after this long")
+	flag.StringVar(&o.tracePath, "trace", "", "stream trace events to this file as JSONL and print the counter registry on exit")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	flag.DurationVar(&o.metricsLog, "metrics-log", 0, "log a registry snapshot to stderr at this period (0 = off)")
 	flag.Parse()
-	if err := run(*trackerURL, *infoHash, *policyName, *listen, *shapeKBps, *shapeLat, *progress, *timeout, *tracePath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "peer:", err)
 		os.Exit(1)
 	}
@@ -60,31 +78,35 @@ func parsePolicy(name string) (core.Policy, error) {
 	return nil, fmt.Errorf("unknown policy %q (want adaptive or pool-N)", name)
 }
 
-func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
-	shapeLat time.Duration, progress bool, timeout time.Duration, tracePath string) error {
-	ih, err := wire.ParseInfoHash(infoHash)
+func run(o options) error {
+	ih, err := wire.ParseInfoHash(o.infoHash)
 	if err != nil {
 		return err
 	}
-	policy, err := parsePolicy(policyName)
+	policy, err := parsePolicy(o.policyName)
 	if err != nil {
 		return err
 	}
-	cfg := peer.Config{ListenAddr: listen, Policy: policy, AnnounceInterval: 5 * time.Second}
-	if shapeKBps > 0 || shapeLat > 0 {
-		cfg.Shape = &shaper.Config{RateBytesPerSec: shapeKBps * 1024, Latency: shapeLat}
+	cfg := peer.Config{ListenAddr: o.listen, Policy: policy, AnnounceInterval: 5 * time.Second}
+	if o.shapeKBps > 0 || o.shapeLat > 0 {
+		cfg.Shape = &shaper.Config{RateBytesPerSec: o.shapeKBps * 1024, Latency: o.shapeLat}
 	}
 
+	// One registry backs every output: the -trace exit dump, the
+	// /metrics scrape, and the periodic snapshot log all render the same
+	// trace.Registry through Registry.Snap, so they cannot disagree.
 	var reg *trace.Registry
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if o.tracePath != "" || o.debugAddr != "" || o.metricsLog > 0 {
+		reg = trace.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
 		if err != nil {
 			return err
 		}
 		jw := trace.NewJSONLWriter(f)
 		cfg.Trace = trace.New(jw)
-		reg = trace.NewRegistry()
-		cfg.Metrics = reg
 		defer func() {
 			if err := jw.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "peer: trace:", err)
@@ -98,8 +120,25 @@ func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
 			}
 		}()
 	}
+	if o.debugAddr != "" {
+		dbg, err := debughttp.Start(debughttp.Config{
+			Addr:          o.debugAddr,
+			Registry:      reg,
+			SnapshotEvery: o.metricsLog,
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Println("debug endpoint on http://" + dbg.Addr())
+	} else if o.metricsLog > 0 {
+		sl := debughttp.StartSnapshotLogger(reg, o.metricsLog, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		defer sl.Stop()
+	}
 
-	trk := tracker.NewClient(trackerURL, nil)
+	trk := tracker.NewClient(o.trackerURL, nil)
 	node, err := peer.Join(trk, ih, cfg)
 	if err != nil {
 		return err
@@ -110,10 +149,10 @@ func run(trackerURL, infoHash, policyName, listen string, shapeKBps int64,
 	fmt.Printf("joined swarm %s: %d segments, %v clip, policy %s\n",
 		ih, len(m.Segments), m.Video.Duration.Round(time.Millisecond), policy.Name())
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
 
-	if progress {
+	if o.progress {
 		tick := time.NewTicker(2 * time.Second)
 		defer tick.Stop()
 		go func() {

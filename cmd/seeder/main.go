@@ -6,6 +6,7 @@
 //	seeder -tracker http://127.0.0.1:7070 [-listen 127.0.0.1:0] [-clip 2m]
 //	       [-seed 42] [-splicing 4s] [-rate 125000]
 //	       [-shape-kbps 128] [-shape-latency 25ms]
+//	       [-debug-addr 127.0.0.1:6060] [-metrics-log 30s]
 package main
 
 import (
@@ -17,10 +18,12 @@ import (
 	"time"
 
 	"p2psplice/internal/container"
+	"p2psplice/internal/debughttp"
 	"p2psplice/internal/media"
 	"p2psplice/internal/peer"
 	"p2psplice/internal/shaper"
 	"p2psplice/internal/splicer"
+	"p2psplice/internal/trace"
 	"p2psplice/internal/tracker"
 )
 
@@ -34,16 +37,18 @@ func main() {
 		rate       = flag.Int64("rate", 0, "override clip rate in bytes/second")
 		shapeKBps  = flag.Int64("shape-kbps", 0, "shape the access link to this many kB/s (0 = unshaped)")
 		shapeLat   = flag.Duration("shape-latency", 0, "access-link setup latency")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+		metricsLog = flag.Duration("metrics-log", 0, "log a registry snapshot to stderr at this period (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*trackerURL, *listen, *clip, *seed, *splicing, *rate, *shapeKBps, *shapeLat); err != nil {
+	if err := run(*trackerURL, *listen, *clip, *seed, *splicing, *rate, *shapeKBps, *shapeLat, *debugAddr, *metricsLog); err != nil {
 		fmt.Fprintln(os.Stderr, "seeder:", err)
 		os.Exit(1)
 	}
 }
 
 func run(trackerURL, listen string, clip time.Duration, seed int64, splicing string,
-	rate, shapeKBps int64, shapeLat time.Duration) error {
+	rate, shapeKBps int64, shapeLat time.Duration, debugAddr string, metricsLog time.Duration) error {
 	cfg := media.DefaultEncoderConfig()
 	if rate > 0 {
 		cfg.BytesPerSecond = rate
@@ -77,6 +82,28 @@ func run(trackerURL, listen string, clip time.Duration, seed int64, splicing str
 	nodeCfg := peer.Config{ListenAddr: listen}
 	if shapeKBps > 0 || shapeLat > 0 {
 		nodeCfg.Shape = &shaper.Config{RateBytesPerSec: shapeKBps * 1024, Latency: shapeLat}
+	}
+	var reg *trace.Registry
+	if debugAddr != "" || metricsLog > 0 {
+		reg = trace.NewRegistry()
+		nodeCfg.Metrics = reg
+	}
+	if debugAddr != "" {
+		dbg, err := debughttp.Start(debughttp.Config{
+			Addr:          debugAddr,
+			Registry:      reg,
+			SnapshotEvery: metricsLog,
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Println("debug endpoint on http://" + dbg.Addr())
+	} else if metricsLog > 0 {
+		sl := debughttp.StartSnapshotLogger(reg, metricsLog, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		defer sl.Stop()
 	}
 	trk := tracker.NewClient(trackerURL, nil)
 	node, err := peer.Seed(trk, m, blobs, nodeCfg)

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	tracker [-listen 127.0.0.1:7070] [-ttl 2m]
+//	        [-debug-addr 127.0.0.1:6060] [-metrics-log 30s]
 package main
 
 import (
@@ -11,17 +12,47 @@ import (
 	"net/http"
 	"os"
 
+	"p2psplice/internal/debughttp"
+	"p2psplice/internal/trace"
 	"p2psplice/internal/tracker"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7070", "HTTP listen address")
-		ttl    = flag.Duration("ttl", tracker.DefaultPeerTTL, "announce freshness window")
+		listen     = flag.String("listen", "127.0.0.1:7070", "HTTP listen address")
+		ttl        = flag.Duration("ttl", tracker.DefaultPeerTTL, "announce freshness window")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+		metricsLog = flag.Duration("metrics-log", 0, "log a registry snapshot to stderr at this period (0 = off)")
 	)
 	flag.Parse()
 
-	srv := tracker.NewServer(tracker.WithPeerTTL(*ttl))
+	opts := []tracker.Option{tracker.WithPeerTTL(*ttl)}
+	var reg *trace.Registry
+	if *debugAddr != "" || *metricsLog > 0 {
+		reg = trace.NewRegistry()
+		opts = append(opts, tracker.WithMetrics(reg))
+	}
+	srv := tracker.NewServer(opts...)
+
+	if *debugAddr != "" {
+		dbg, err := debughttp.Start(debughttp.Config{
+			Addr:          *debugAddr,
+			Registry:      reg,
+			SnapshotEvery: *metricsLog,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracker:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Println("debug endpoint on http://" + dbg.Addr())
+	} else if *metricsLog > 0 {
+		sl := debughttp.StartSnapshotLogger(reg, *metricsLog, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		defer sl.Stop()
+	}
+
 	fmt.Printf("tracker listening on http://%s (peer TTL %v)\n", *listen, *ttl)
 	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "tracker:", err)

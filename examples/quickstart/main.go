@@ -1,10 +1,16 @@
 // Quickstart: spin up a complete real-TCP swarm in one process — tracker,
 // seeder, and two viewing peers — stream a short synthetic clip, and print
 // the playback metrics the paper measures.
+//
+// With -debug-addr the process also serves /metrics, /healthz, and
+// /debug/pprof for the whole swarm (all nodes and the tracker share one
+// registry); -linger keeps it alive after the stream completes so a
+// scraper (or `make metrics-smoke`) can read the final state.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -16,6 +22,26 @@ import (
 )
 
 func main() {
+	var (
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+		linger    = flag.Duration("linger", 0, "keep the swarm alive this long after completion (lets a scraper catch the final state)")
+	)
+	flag.Parse()
+
+	// One registry for the whole in-process swarm: both viewers, the
+	// seeder, and the tracker record into it, so /metrics shows the
+	// swarm's aggregate QoE and transport distributions.
+	var reg *p2psplice.MetricsRegistry
+	if *debugAddr != "" {
+		reg = p2psplice.NewMetricsRegistry()
+		dbg, err := p2psplice.StartDebug(p2psplice.DebugConfig{Addr: *debugAddr, Registry: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Println("debug endpoint on http://" + dbg.Addr())
+	}
+
 	// 1. Synthesize a 10-second clip at a modest rate and splice it into
 	//    2-second segments.
 	enc := p2psplice.DefaultEncoderConfig()
@@ -33,7 +59,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: p2psplice.NewTracker().Handler()}
+	trkSrv := p2psplice.NewTracker()
+	if reg != nil {
+		trkSrv = p2psplice.NewTrackerWithMetrics(reg)
+	}
+	srv := &http.Server{Handler: trkSrv.Handler()}
 	var srvWG sync.WaitGroup
 	srvWG.Add(1)
 	go func() {
@@ -50,6 +80,7 @@ func main() {
 	// 3. Seed the clip.
 	seeder, err := p2psplice.Seed(trk, manifest, blobs, p2psplice.NodeConfig{
 		AnnounceInterval: 200 * time.Millisecond,
+		Metrics:          reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -63,6 +94,7 @@ func main() {
 		v, err := p2psplice.Join(trk, seeder.InfoHash(), p2psplice.NodeConfig{
 			Policy:           p2psplice.AdaptivePool{},
 			AnnounceInterval: 200 * time.Millisecond,
+			Metrics:          reg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -85,4 +117,9 @@ func main() {
 	fmt.Printf("seeder uploaded %d bytes; peers exchanged %d bytes peer-to-peer\n",
 		seeder.Stats().UploadedBytes,
 		viewers[0].Stats().UploadedBytes+viewers[1].Stats().UploadedBytes)
+
+	if *linger > 0 {
+		fmt.Printf("lingering %v for scrapers\n", *linger)
+		time.Sleep(*linger)
+	}
 }

@@ -23,6 +23,7 @@ var DeterministicPackages = []string{
 	"p2psplice/internal/metrics",
 	"p2psplice/internal/trace",
 	"p2psplice/internal/fault",
+	"p2psplice/internal/tracereport",
 }
 
 // Determinism flags, inside the simulation-deterministic packages:

@@ -1,0 +1,179 @@
+// Package debughttp is the opt-in operational endpoint for the real TCP
+// stack. Every daemon (cmd/peer, cmd/tracker, cmd/seeder) and the CDN
+// origin can mount one on a -debug-addr listener, serving:
+//
+//	GET /metrics  Prometheus text exposition of the process registry
+//	GET /healthz  liveness probe ("ok" plus uptime)
+//	/debug/pprof/ the stdlib profiler (heap, goroutine, CPU, trace, ...)
+//
+// The package deliberately lives outside the deterministic core: it reads
+// the wall clock for uptime and the snapshot logger, and it serves real
+// HTTP. The registry it exposes is the same one cmd/peer's -trace exit
+// dump renders — both go through trace.Registry.Snap, so a scrape and a
+// dump can never disagree (the "one snapshot path" contract).
+package debughttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"p2psplice/internal/trace"
+)
+
+// Config parameterizes Start.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:6060". Required.
+	Addr string
+	// Registry backs /metrics. A nil registry serves an empty (but
+	// valid) exposition, so callers can wire the flag unconditionally.
+	Registry *trace.Registry
+	// SnapshotEvery, when > 0, logs a full WriteText registry snapshot
+	// through Logf at that period — the headless-run substitute for a
+	// scraper.
+	SnapshotEvery time.Duration
+	// Logf receives snapshot output and serve errors. Defaults to
+	// stderr.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running debug endpoint. Close stops the listener and joins
+// every goroutine the server started.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	logf  func(format string, args ...any)
+	snap  *SnapshotLogger
+	wg    sync.WaitGroup
+	once  sync.Once
+	start time.Time
+}
+
+// SnapshotLogger periodically renders a registry through a log function —
+// the headless-run substitute for a scraper. Start one directly when a
+// daemon wants snapshots without the HTTP listener.
+type SnapshotLogger struct {
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+	start time.Time
+}
+
+// StartSnapshotLogger logs a WriteText snapshot of reg through logf every
+// period until Stop.
+func StartSnapshotLogger(reg *trace.Registry, every time.Duration, logf func(format string, args ...any)) *SnapshotLogger {
+	sl := &SnapshotLogger{stop: make(chan struct{}), start: time.Now()}
+	sl.wg.Add(1)
+	go func() {
+		defer sl.wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sl.stop:
+				return
+			case <-tick.C:
+				var b strings.Builder
+				if err := reg.WriteText(&b); err != nil {
+					logf("debughttp: snapshot: %v", err)
+					continue
+				}
+				logf("-- metrics snapshot (uptime %s) --\n%s",
+					time.Since(sl.start).Round(time.Second), strings.TrimRight(b.String(), "\n"))
+			}
+		}
+	}()
+	return sl
+}
+
+// Stop halts the logger and joins its goroutine. Safe to call twice.
+func (sl *SnapshotLogger) Stop() {
+	sl.once.Do(func() {
+		close(sl.stop)
+		sl.wg.Wait()
+	})
+}
+
+// Handler returns the debug mux for reg: /metrics, /healthz, and
+// /debug/pprof/*. Exported so servers with their own listener (the CDN
+// origin, tests) can mount the same surface Start serves.
+func Handler(reg *trace.Registry, start time.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Render to a buffer first so a mid-write registry error cannot
+		// emit a half exposition with a 200 status.
+		var b strings.Builder
+		if err := reg.WriteProm(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		//lint:ignore wireerr client disconnect mid-scrape is not actionable server-side
+		_, _ = fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//lint:ignore wireerr client disconnect mid-probe is not actionable server-side
+		_, _ = fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on cfg.Addr and serves the debug surface until Close.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("debughttp: empty listen address")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("debughttp: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		ln:    ln,
+		logf:  logf,
+		start: time.Now(),
+	}
+	s.srv = &http.Server{Handler: Handler(cfg.Registry, s.start)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logf("debughttp: serve: %v", err)
+		}
+	}()
+	if cfg.SnapshotEvery > 0 {
+		s.snap = StartSnapshotLogger(cfg.Registry, cfg.SnapshotEvery, logf)
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down and waits for the serve and snapshot
+// goroutines to exit. Safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		if s.snap != nil {
+			s.snap.Stop()
+		}
+		err = s.srv.Close()
+		s.wg.Wait()
+	})
+	return err
+}

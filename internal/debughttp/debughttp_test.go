@@ -1,0 +1,155 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2psplice/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsHealthzPprof(t *testing.T) {
+	reg := trace.NewRegistry()
+	reg.Counter("requests_total").Add(7)
+	reg.SecondsHistogram("latency_seconds").Observe(1_500_000)
+
+	s, err := Start(Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", code)
+	}
+	pm, err := trace.ParsePromText(body)
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	if v, ok := pm.Value("requests_total"); !ok || v != 7 {
+		t.Errorf("requests_total = %v, %v; want 7, true", v, ok)
+	}
+	if v, ok := pm.Value("latency_seconds_sum"); !ok || v != 1.5 {
+		t.Errorf("latency_seconds_sum = %v, %v; want 1.5, true", v, ok)
+	}
+
+	// The scrape must agree with the text dump: one snapshot path.
+	var txt strings.Builder
+	if err := reg.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "requests_total") {
+		t.Errorf("WriteText missing requests_total:\n%s", txt.String())
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok...", code, body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, want 200 with profile index", code)
+	}
+}
+
+func TestNilRegistryServesEmptyExposition(t *testing.T) {
+	s, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", code)
+	}
+	if _, err := trace.ParsePromText(body); err != nil {
+		t.Fatalf("empty exposition must still parse: %v", err)
+	}
+}
+
+func TestSnapshotLogger(t *testing.T) {
+	reg := trace.NewRegistry()
+	reg.Counter("ticks").Inc()
+
+	var mu sync.Mutex
+	var lines []string
+	s, err := Start(Config{
+		Addr:          "127.0.0.1:0",
+		Registry:      reg,
+		SnapshotEvery: 10 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			lines = append(lines, strings.TrimSpace(format))
+			_ = args
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot logged within 2s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close joins the logger goroutine; no further lines may arrive.
+	mu.Lock()
+	n := len(lines)
+	mu.Unlock()
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != n {
+		t.Errorf("snapshot logger ran after Close: %d -> %d lines", n, len(lines))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRequiresAddr(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("Start with empty addr must fail")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"p2psplice/internal/metrics"
 	"p2psplice/internal/simpeer"
 	"p2psplice/internal/splicer"
+	"p2psplice/internal/trace"
 )
 
 // Params holds the experiment-wide knobs. The zero value is not useful;
@@ -54,6 +55,15 @@ type Params struct {
 	// Tracing is observational only; figure values are bit-identical with
 	// TraceDir set or empty (DESIGN.md §8).
 	TraceDir string
+	// Metrics, when non-nil, attaches this registry to every cell's swarm:
+	// the QoE histograms (startup, per-cause stall durations, segment
+	// latency/bytes labeled by splicing scheme, pool sizes) accumulate
+	// across the whole sweep. Like TraceDir it is observational only;
+	// figure values are bit-identical with it set or nil
+	// (TestMetricsAreInert). The registry's atomic instruments make the
+	// shared accumulation safe — and, because histogram totals are exact
+	// integer sums, deterministic — under the parallel runner.
+	Metrics *trace.Registry
 }
 
 // DefaultParams mirrors the paper's Section V setup.

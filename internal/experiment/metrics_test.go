@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"p2psplice/internal/trace"
+)
+
+// Params.Metrics must be observational only: the same figure, with and
+// without a registry attached, produces float-bit-identical values —
+// the experiment-level twin of simpeer's inertness proof.
+func TestMetricsAreInert(t *testing.T) {
+	bws := []int64{128, 512}
+
+	bare := tracedParams()
+	plain, err := bare.Fig2Stalls(bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metered := tracedParams()
+	reg := trace.NewRegistry()
+	metered.Metrics = reg
+	got, err := metered.Fig2Stalls(bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "Fig2Stalls with Metrics", plain.Values, got.Values)
+
+	// The sweep populated the QoE histograms, with segment series labeled
+	// by splicing scheme.
+	snap := reg.Snap()
+	byName := map[string]trace.HistStat{}
+	for _, h := range snap.Hists {
+		byName[h.Name] = h
+	}
+	if h := byName["sim_startup_seconds"]; h.Count == 0 {
+		t.Error("no startup observations across the sweep")
+	}
+	if h := byName["sim_pool_size_k"]; h.Count == 0 {
+		t.Error("no pool-size observations across the sweep")
+	}
+	schemes := map[string]bool{}
+	for name := range byName {
+		if strings.HasPrefix(name, "sim_segment_bytes{scheme=") {
+			schemes[name] = true
+		}
+	}
+	// Figure 2 sweeps four splicing series (gop + three fixed durations).
+	if len(schemes) != 4 {
+		t.Errorf("segment-bytes series = %v, want 4 schemes", schemes)
+	}
+}
+
+// The shared registry accumulates identically whatever the worker count:
+// histogram sums are exact integer additions, so parallel cell execution
+// cannot perturb them.
+func TestMetricsIdenticalAcrossWorkers(t *testing.T) {
+	snapshots := make([]trace.RegistrySnapshot, 0, 2)
+	for _, workers := range []int{1, 2} {
+		p := tracedParams()
+		p.Workers = workers
+		reg := trace.NewRegistry()
+		p.Metrics = reg
+		if _, err := p.Fig2Stalls([]int64{128}); err != nil {
+			t.Fatal(err)
+		}
+		snapshots = append(snapshots, reg.Snap())
+	}
+	a, b := snapshots[0], snapshots[1]
+	if len(a.Hists) != len(b.Hists) {
+		t.Fatalf("histogram families: %d serial vs %d parallel", len(a.Hists), len(b.Hists))
+	}
+	for i := range a.Hists {
+		if a.Hists[i] != b.Hists[i] {
+			t.Errorf("histogram %s differs across workers:\nserial:   %+v\nparallel: %+v",
+				a.Hists[i].Name, a.Hists[i], b.Hists[i])
+		}
+	}
+}
+
+func TestSchemeFromLabel(t *testing.T) {
+	cases := map[string]string{
+		"Figure 2/gop":          "gop",
+		"Figure 6/adaptive@256": "adaptive",
+		"Churn/4s/low":          "4s",
+		"sweep/2s":              "2s",
+		"nolabel":               "",
+	}
+	for in, want := range cases {
+		if got := schemeFromLabel(in); got != want {
+			t.Errorf("schemeFromLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

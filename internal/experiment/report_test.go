@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"p2psplice/internal/tracereport"
+)
+
+// renderTraceReport runs the churn figure with the given worker count,
+// analyzes its trace directory, and returns every serialized form of the
+// report (JSON, table, stall CDF).
+func renderTraceReport(t *testing.T, workers int) (json, table, cdf string) {
+	t.Helper()
+	p := tracedParams()
+	p.TraceDir = t.TempDir()
+	p.Workers = workers
+	if _, err := p.FigChurn(nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tracereport.AnalyzeDir(p.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j, tb, c bytes.Buffer
+	if err := tracereport.WriteJSON(&j, a.Report); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracereport.WriteTable(&tb, a.Report); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracereport.WriteCDF(&c, "stall", a.StallUS); err != nil {
+		t.Fatal(err)
+	}
+	return j.String(), tb.String(), c.String()
+}
+
+// The trace-dir report (cmd/experiment's report.json, splicetrace's
+// output) must be byte-identical across repeated runs and across
+// -workers values, and the churn figure's stalls must be 100% attributed.
+func TestTraceReportIdenticalAcrossWorkers(t *testing.T) {
+	jSerial, tSerial, cSerial := renderTraceReport(t, 1)
+	jSerial2, tSerial2, cSerial2 := renderTraceReport(t, 1)
+	if jSerial != jSerial2 || tSerial != tSerial2 || cSerial != cSerial2 {
+		t.Fatal("serial trace report not reproducible across runs")
+	}
+	jPar, tPar, cPar := renderTraceReport(t, 4)
+	if jSerial != jPar {
+		t.Errorf("report.json differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", jSerial, jPar)
+	}
+	if tSerial != tPar {
+		t.Error("report table differs between workers=1 and workers=4")
+	}
+	if cSerial != cPar {
+		t.Error("stall CDF differs between workers=1 and workers=4")
+	}
+}
+
+// The churn figure injects faults, so its trace dir must both contain
+// stalls and attribute every one of them (the acceptance criterion).
+func TestChurnTraceReportFullyAttributed(t *testing.T) {
+	p := tracedParams()
+	p.TraceDir = t.TempDir()
+	if _, err := p.FigChurn(nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tracereport.AnalyzeDir(p.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Report
+	if r.Stalls.Count == 0 {
+		t.Fatal("churn figure traced no stalls; attribution untested")
+	}
+	if r.Stalls.Attributed != r.Stalls.Count {
+		t.Errorf("%d of %d stalls unattributed", r.Stalls.Count-r.Stalls.Attributed, r.Stalls.Count)
+	}
+	if r.Stalls.AttributedPct != 100 {
+		t.Errorf("attributed pct = %v, want 100", r.Stalls.AttributedPct)
+	}
+	if len(r.Causes) == 0 {
+		t.Error("no cause breakdown rows")
+	}
+}

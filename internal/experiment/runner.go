@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -42,12 +43,31 @@ type cellOut struct {
 	startupSecs float64
 }
 
+// schemeFromLabel extracts the splicing-scheme series name from a cell
+// label for the segment-histogram label: "Figure 2/gop" → "gop",
+// "Figure 6/adaptive@256" → "adaptive", "Churn/4s/low" → "4s".
+func schemeFromLabel(label string) string {
+	parts := strings.Split(label, "/")
+	if len(parts) < 2 {
+		return ""
+	}
+	scheme := parts[1]
+	if i := strings.IndexByte(scheme, '@'); i >= 0 {
+		scheme = scheme[:i]
+	}
+	return scheme
+}
+
 // runCell executes one emulated swarm, writing trace artifacts when
 // Params.TraceDir is set.
 func (p Params) runCell(c cell) (cellOut, error) {
 	cfg := p.swarmConfig(c.bandwidthKB, c.policy, p.BaseSeed+int64(c.run))
 	if c.mod != nil {
 		c.mod(&cfg)
+	}
+	if p.Metrics != nil {
+		cfg.Metrics = p.Metrics
+		cfg.MetricsScheme = schemeFromLabel(c.label)
 	}
 	var buf *trace.Buffer
 	if p.TraceDir != "" {

@@ -125,7 +125,7 @@ type Node struct {
 	tr *trace.Tracer // immutable after construction; nil-safe
 	nm nodeMetrics   // immutable after construction; handles are no-ops without a registry
 
-	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers and dialState
+	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers, dialState, openStallAt and openStallCause
 	conns         map[wire.PeerID]*conn
 	active        map[int]*segDownload // in-flight segment downloads
 	play          *player.Player       // nil for seeders
@@ -137,8 +137,12 @@ type Node struct {
 	trackerDown   bool                    // last announce failed; degraded to cachedPeers
 	cachedPeers   []tracker.PeerInfo      // last successful announce result
 	dialState     map[string]*dialBackoff // per-address reconnect backoff
-	completeC     chan struct{} // closed when the store completes
-	completeOnce  sync.Once
+	// openStallAt/openStallCause track the in-progress stall so its full
+	// duration lands in the cause-labeled histogram at stall end.
+	openStallAt    time.Duration
+	openStallCause string
+	completeC      chan struct{} // closed when the store completes
+	completeOnce   sync.Once
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -285,7 +289,7 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		seeder:    seeder,
 		started:   time.Now(),
 		tr:        cfg.Trace,
-		nm:        newNodeMetrics(cfg.Metrics),
+		nm:        newNodeMetrics(cfg.Metrics, m.Splicing),
 		conns:     make(map[wire.PeerID]*conn),
 		active:    make(map[int]*segDownload),
 		dialState: make(map[string]*dialBackoff),
@@ -518,6 +522,7 @@ func (n *Node) trackerLoop() {
 // re-announces on the next tick. Tracker loss and recovery are traced as
 // fault events so timelines can attribute downstream stalls to it.
 func (n *Node) announceAndConnect() {
+	annStart := time.Now()
 	peers, err := n.trk.Announce(n.infoHash, n.peerID, n.Addr(), n.seeder)
 	if err != nil {
 		n.nm.announceFails.Inc()
@@ -534,6 +539,9 @@ func (n *Node) announceAndConnect() {
 		n.schedule()
 		return
 	}
+	// Only successful announces measure tracker RTT — a failed one's
+	// elapsed time is the retry/timeout budget, not the server's latency.
+	n.nm.announceRTT.ObserveDuration(time.Since(annStart))
 	n.mu.Lock()
 	wasDown := n.trackerDown
 	n.trackerDown = false

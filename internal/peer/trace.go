@@ -25,10 +25,24 @@ type nodeMetrics struct {
 	// dials (post-backoff attempts included).
 	announceFails trace.Counter
 	dialFails     trace.Counter
+
+	// QoE/transport histograms (the distributions the paper's figures
+	// summarize, live on a real node). All are nil-safe no-ops without a
+	// registry, like the counters above.
+	startup     trace.Histogram // p2p_startup_seconds
+	segSeconds  trace.Histogram // p2p_segment_download_seconds{scheme=...}
+	segBytes    trace.Histogram // p2p_segment_bytes{scheme=...}
+	poolK       trace.Histogram // p2p_pool_size_k
+	announceRTT trace.Histogram // p2p_announce_rtt_seconds
+	// stallSeconds maps each attributable cause to its labeled duration
+	// histogram; the cause set is closed (trace.StallCauses), so every
+	// series registers up front and the recording path never takes the
+	// registry lock.
+	stallSeconds map[string]trace.Histogram
 }
 
-func newNodeMetrics(r *trace.Registry) nodeMetrics {
-	return nodeMetrics{
+func newNodeMetrics(r *trace.Registry, scheme string) nodeMetrics {
+	nm := nodeMetrics{
 		schedCalls:  r.Counter("sched_calls"),
 		launches:    r.Counter("sched_launches"),
 		blocksRx:    r.Counter("blocks_rx"),
@@ -43,7 +57,34 @@ func newNodeMetrics(r *trace.Registry) nodeMetrics {
 		announceFails: r.Counter("announce_failures"),
 		dialFails:     r.Counter("dial_failures"),
 	}
+	if r == nil {
+		return nm
+	}
+	schemeLabel := ""
+	if scheme != "" {
+		schemeLabel = `{scheme="` + scheme + `"}`
+	}
+	r.SetHelp("p2p_startup_seconds", "Time from join to first rendered frame.")
+	r.SetHelp("p2p_stall_seconds", "Playback stall durations by attributed cause.")
+	r.SetHelp("p2p_segment_download_seconds", "Per-segment transfer latency.")
+	r.SetHelp("p2p_segment_bytes", "Per-segment wire size.")
+	r.SetHelp("p2p_pool_size_k", "Equation 1 pool-size decisions.")
+	r.SetHelp("p2p_announce_rtt_seconds", "Tracker announce round-trip time (successful announces).")
+	nm.startup = r.SecondsHistogram("p2p_startup_seconds")
+	nm.segSeconds = r.SecondsHistogram("p2p_segment_download_seconds" + schemeLabel)
+	nm.segBytes = r.Histogram("p2p_segment_bytes" + schemeLabel)
+	nm.poolK = r.Histogram("p2p_pool_size_k")
+	nm.announceRTT = r.SecondsHistogram("p2p_announce_rtt_seconds")
+	nm.stallSeconds = make(map[string]trace.Histogram, 8)
+	for _, cause := range trace.StallCauses() {
+		nm.stallSeconds[cause] = r.SecondsHistogram(`p2p_stall_seconds{cause="` + cause + `"}`)
+	}
+	return nm
 }
+
+// stallFor returns the duration histogram for a cause (no-op when
+// unmetered).
+func (nm nodeMetrics) stallFor(cause string) trace.Histogram { return nm.stallSeconds[cause] }
 
 // emitAt sends one trace event at the given playback-clock time. A node
 // without a tracer pays only this nil check.
@@ -62,18 +103,34 @@ func (n *Node) playbackTransitionLocked(t player.Transition) {
 	case t.From == player.StateWaiting && t.To == player.StatePlaying:
 		n.emitAt(t.At, trace.CatPlayer, trace.EvStartup, -1,
 			trace.Int64("startup_us", t.At.Microseconds()))
+		n.nm.startup.ObserveDuration(t.At)
 	case t.To == player.StateStalled:
 		n.nm.stalls.Inc()
 		cause := n.stallCauseLocked()
+		n.openStallAt, n.openStallCause = t.At, cause
 		n.emitAt(t.At, trace.CatPlayer, trace.EvStallBegin, -1)
 		n.emitAt(t.At, trace.CatPlayer, trace.EvStallCause, -1,
 			trace.Str("cause", cause),
 			trace.Int64("inflight", int64(len(n.active))))
 	case t.From == player.StateStalled && t.To == player.StatePlaying:
 		n.emitAt(t.At, trace.CatPlayer, trace.EvStallEnd, -1)
+		n.closeOpenStallLocked(t.At)
 	case t.To == player.StateFinished:
 		n.emitAt(t.At, trace.CatPlayer, trace.EvFinished, -1)
+		if t.From == player.StateStalled {
+			n.closeOpenStallLocked(t.At)
+		}
 	}
+}
+
+// closeOpenStallLocked records the finished stall's duration into its
+// cause-labeled histogram (n.mu held).
+func (n *Node) closeOpenStallLocked(at time.Duration) {
+	if n.openStallCause == "" {
+		return
+	}
+	n.nm.stallFor(n.openStallCause).ObserveDuration(at - n.openStallAt)
+	n.openStallCause = ""
 }
 
 // stallCauseLocked attributes a beginning stall to its proximate cause by

@@ -1,0 +1,61 @@
+package simpeer
+
+import (
+	"p2psplice/internal/trace"
+)
+
+// simMetrics caches the emulation's histogram handles so the hot paths
+// never take the registry lock. All handles are nil-safe zero values
+// when no registry is attached, so recording sites need no conditionals
+// — the metered and unmetered runs execute the same statements, which
+// is what TestMetricsAreInert proves.
+//
+// Metric families (QoE distributions the paper's figures summarize):
+//
+//	sim_startup_seconds                      time from join to first frame
+//	sim_stall_seconds{cause="..."}           per-stall duration by attributed cause
+//	sim_segment_download_seconds{scheme=...} per-segment transfer latency
+//	sim_segment_bytes{scheme="..."}          per-segment wire size
+//	sim_pool_size_k                          Eq. 1 pool-size decisions
+type simMetrics struct {
+	startup    trace.Histogram
+	segSeconds trace.Histogram
+	segBytes   trace.Histogram
+	poolK      trace.Histogram
+	// stall maps each attributable cause to its labeled histogram. The
+	// cause set is closed (trace.Cause*), so every series is registered
+	// up front: no lazy registration on the recording path.
+	stall map[string]trace.Histogram
+}
+
+// newSimMetrics builds the handle set against reg. A nil reg yields
+// all-no-op handles (the zero simMetrics).
+func newSimMetrics(reg *trace.Registry, scheme string) simMetrics {
+	if reg == nil {
+		return simMetrics{}
+	}
+	schemeLabel := ""
+	if scheme != "" {
+		schemeLabel = `{scheme="` + scheme + `"}`
+	}
+	reg.SetHelp("sim_startup_seconds", "Time from swarm join to first rendered frame.")
+	reg.SetHelp("sim_stall_seconds", "Playback stall durations by attributed cause.")
+	reg.SetHelp("sim_segment_download_seconds", "Per-segment transfer latency.")
+	reg.SetHelp("sim_segment_bytes", "Per-segment wire size.")
+	reg.SetHelp("sim_pool_size_k", "Equation 1 pool-size decisions.")
+	m := simMetrics{
+		startup:    reg.SecondsHistogram("sim_startup_seconds"),
+		segSeconds: reg.SecondsHistogram("sim_segment_download_seconds" + schemeLabel),
+		segBytes:   reg.Histogram("sim_segment_bytes" + schemeLabel),
+		poolK:      reg.Histogram("sim_pool_size_k"),
+		stall:      make(map[string]trace.Histogram, 8),
+	}
+	for _, cause := range trace.StallCauses() {
+		m.stall[cause] = reg.SecondsHistogram(`sim_stall_seconds{cause="` + cause + `"}`)
+	}
+	return m
+}
+
+// stallFor returns the histogram for a cause (no-op when unmetered or
+// the cause is unknown — the attribution tests keep the set closed).
+func (m simMetrics) stallFor(cause string) trace.Histogram { return m.stall[cause] }

@@ -73,6 +73,13 @@ type peerState struct {
 	// retryPending marks a scheduled source-retry so fill does not stack
 	// duplicate timers while the peer waits for an eligible source.
 	retryPending bool
+
+	// openStallAt/openStallCause track the in-progress stall for the QoE
+	// histograms. Observer-owned: written only from onPlayerTransition
+	// (attached only when tracing or metering) and read by nothing in the
+	// scheduling path, so maintaining them cannot perturb the run.
+	openStallAt    time.Duration
+	openStallCause string
 }
 
 // download is one in-flight segment transfer with its chosen source.
@@ -294,6 +301,7 @@ func (s *swarm) fill(p *peerState) {
 	buffered := p.player.BufferedAhead(now)
 	segBytes := s.segs[next].Bytes
 	target := s.cfg.Policy.PoolSize(b, buffered, segBytes)
+	s.sm.poolK.Observe(int64(target))
 	inFlightBefore := len(p.inFlight)
 	if inFlightBefore >= target {
 		return
@@ -409,6 +417,8 @@ func (s *swarm) onDownloadComplete(p, src *peerState, idx int, f *netem.Flow) {
 		k = 1
 	}
 	p.est.Observe(f.Size()*k, f.Elapsed())
+	s.sm.segSeconds.ObserveDuration(f.Elapsed())
+	s.sm.segBytes.Observe(f.Size())
 	if s.cfg.Tracer.Enabled() {
 		s.emit(p.id, idx, trace.CatPool, trace.EvSegComplete,
 			trace.Int64("bytes", f.Size()),

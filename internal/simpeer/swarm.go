@@ -173,6 +173,16 @@ type SwarmConfig struct {
 	// playback transitions with attributed stall causes. Tracing is inert:
 	// the run is bit-identical with and without it. Nil disables.
 	Tracer *trace.Tracer
+	// Metrics optionally receives QoE/transport histograms (startup,
+	// per-cause stall durations, segment latency and bytes, Eq. 1 pool
+	// sizes). Like the Tracer it is a pure observer — the run is
+	// bit-identical with and without it (TestMetricsAreInert). Nil
+	// disables.
+	Metrics *trace.Registry
+	// MetricsScheme labels the segment histograms with the splicing
+	// scheme under test (e.g. "gop", "4s") so one registry can compare
+	// schemes. Empty omits the label.
+	MetricsScheme string
 	// ManifestBytes is the size of the swarm/clip metadata a joining peer
 	// fetches from the seeder before requesting segments (the paper: "each
 	// peer contacts the seeder and gets different information about the
@@ -263,7 +273,8 @@ func RunSwarm(cfg SwarmConfig, segs []SegmentMeta) (*Result, error) {
 
 	eng := sim.New(cfg.Seed)
 	net := netem.New(eng, cfg.Net)
-	sw := &swarm{eng: eng, net: net, cfg: cfg, segs: segs}
+	sw := &swarm{eng: eng, net: net, cfg: cfg, segs: segs,
+		sm: newSimMetrics(cfg.Metrics, cfg.MetricsScheme)}
 
 	if err := sw.setup(); err != nil {
 		return nil, err
@@ -296,6 +307,9 @@ type swarm struct {
 	// cross holds background traffic flows; they are cancelled once every
 	// leecher has finished downloading so the event queue can drain.
 	cross []*netem.Flow
+	// sm holds the cached histogram handles (all no-ops when
+	// cfg.Metrics is nil), so recording sites never branch.
+	sm simMetrics
 	// nodeToPeer attributes netem flow events to peer IDs; populated only
 	// when tracing.
 	nodeToPeer map[netem.NodeID]int
@@ -481,7 +495,9 @@ func (s *swarm) join(p *peerState) {
 		return
 	}
 	p.joined = s.eng.Now()
-	if s.cfg.Tracer.Enabled() {
+	if s.cfg.Tracer.Enabled() || s.cfg.Metrics != nil {
+		// The observer feeds both the trace stream and the QoE histograms;
+		// either consumer alone needs it attached.
 		p.player.SetObserver(func(tr player.Transition) { s.onPlayerTransition(p, tr) })
 	}
 	if err := p.player.Start(s.eng.Now()); err != nil {

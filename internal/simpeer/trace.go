@@ -69,8 +69,10 @@ func (s *swarm) onPlayerTransition(p *peerState, tr player.Transition) {
 	case tr.From == player.StateWaiting && tr.To == player.StatePlaying:
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStartup,
 			trace.Int64("startup_us", (tr.At-p.joined).Microseconds()))
+		s.sm.startup.ObserveDuration(tr.At - p.joined)
 	case tr.To == player.StateStalled:
 		cause, inflight, frozen := s.classifyStall(p, tr.At)
+		p.openStallAt, p.openStallCause = tr.At, cause
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallBegin)
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallCause,
 			trace.Str("cause", cause),
@@ -78,8 +80,18 @@ func (s *swarm) onPlayerTransition(p *peerState, tr player.Transition) {
 			trace.Int64("frozen", int64(frozen)))
 	case tr.From == player.StateStalled && tr.To == player.StatePlaying:
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvStallEnd)
+		if p.openStallCause != "" {
+			s.sm.stallFor(p.openStallCause).ObserveDuration(tr.At - p.openStallAt)
+			p.openStallCause = ""
+		}
 	case tr.To == player.StateFinished:
 		s.emitAt(tr.At, p.id, -1, trace.CatPlayer, trace.EvFinished)
+		if tr.From == player.StateStalled && p.openStallCause != "" {
+			// A run can finish straight out of a stall; close it so the
+			// histogram's total matches the attributed stall time.
+			s.sm.stallFor(p.openStallCause).ObserveDuration(tr.At - p.openStallAt)
+			p.openStallCause = ""
+		}
 	}
 }
 

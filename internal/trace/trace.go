@@ -102,6 +102,22 @@ const (
 	CauseTrackerDown = "tracker_down"
 )
 
+// StallCauses returns the closed set of attributable stall causes, in a
+// fixed order. Metric layers register one labeled stall-duration series
+// per cause up front, so the recording paths never mutate the registry.
+func StallCauses() []string {
+	return []string{
+		CauseEmptyPool,
+		CauseChokedSources,
+		CauseNoSource,
+		CauseFrozenFlow,
+		CauseSlowFlow,
+		CausePeerCrash,
+		CauseLinkDown,
+		CauseTrackerDown,
+	}
+}
+
 // ArgKind discriminates an Arg's payload.
 type ArgKind uint8
 

@@ -224,11 +224,12 @@ func TestRegistry(t *testing.T) {
 	if len(snap) != 2 {
 		t.Fatalf("snapshot = %v, want 2 stats", snap)
 	}
-	if snap[0] != (Stat{Name: "blocks_rx", Kind: "counter", Value: 6}) {
-		t.Fatalf("counter stat = %+v", snap[0])
+	// Ordering contract: sorted by name, whatever the kind.
+	if snap[0] != (Stat{Name: "active", Kind: "gauge", Value: 2}) {
+		t.Fatalf("first stat = %+v", snap[0])
 	}
-	if snap[1] != (Stat{Name: "active", Kind: "gauge", Value: 2}) {
-		t.Fatalf("gauge stat = %+v", snap[1])
+	if snap[1] != (Stat{Name: "blocks_rx", Kind: "counter", Value: 6}) {
+		t.Fatalf("second stat = %+v", snap[1])
 	}
 	var b bytes.Buffer
 	if err := r.WriteText(&b); err != nil {

@@ -1,0 +1,246 @@
+package tracereport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// secs renders whole microseconds as fixed-precision seconds. Fixed
+// precision (not %g) keeps column widths stable in the tables.
+func secs(us int64) string {
+	return strconv.FormatFloat(float64(us)/1e6, 'f', 3, 64) + "s"
+}
+
+// pct renders a percentage with one decimal.
+func pct(v float64) string {
+	return strconv.FormatFloat(v, 'f', 1, 64) + "%"
+}
+
+// WriteJSON renders the report as indented JSON. Struct field order is
+// fixed and no maps are serialized, so the output is byte-stable.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the human-readable report: totals, the stall-cause
+// breakdown, the per-file rollup, and the flow-utilization summary.
+func WriteTable(w io.Writer, r *Report) error {
+	p := func(format string, args ...any) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("trace report: %d files, %d events, %d peers (%d finished)\n",
+		r.Files, r.Events, r.Peers, r.Finished); err != nil {
+		return err
+	}
+	if err := p("startup:  count=%d mean=%s p50=%s p95=%s max=%s\n",
+		r.Startup.Count, secs(r.Startup.MeanUS), secs(r.Startup.P50US),
+		secs(r.Startup.P95US), secs(r.Startup.MaxUS)); err != nil {
+		return err
+	}
+	if err := p("stalls:   count=%d attributed=%s open=%d total=%s\n",
+		r.Stalls.Count, pct(r.Stalls.AttributedPct), r.Stalls.Open,
+		secs(r.Stalls.Durations.TotalUS)); err != nil {
+		return err
+	}
+	if err := p("segments: count=%d bytes=%d mean=%s p95=%s\n\n",
+		r.Segments.Count, r.Segments.TotalBytes,
+		secs(r.Segments.Latency.MeanUS), secs(r.Segments.Latency.P95US)); err != nil {
+		return err
+	}
+
+	if len(r.Causes) > 0 {
+		if err := p("%-16s %6s %12s %12s %12s %12s\n",
+			"stall cause", "count", "total", "mean", "p95", "max"); err != nil {
+			return err
+		}
+		for _, c := range r.Causes {
+			if err := p("%-16s %6d %12s %12s %12s %12s\n",
+				c.Cause, c.Count, secs(c.TotalUS), secs(c.MeanUS),
+				secs(c.P95US), secs(c.MaxUS)); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+
+	if err := p("flows: setups=%d completes=%d cancels=%d freezes=%d ramps=%d utilization=%s (frozen %s of %s active)\n\n",
+		r.Flows.Setups, r.Flows.Completes, r.Flows.Cancels, r.Flows.Freezes,
+		r.Flows.Ramps, pct(r.Flows.UtilizationPct),
+		secs(r.Flows.FrozenUS), secs(r.Flows.ActiveUS)); err != nil {
+		return err
+	}
+
+	if err := p("%-48s %6s %6s %6s %8s %12s %12s\n",
+		"file", "peers", "fin", "stalls", "open", "stall-total", "startup-mean"); err != nil {
+		return err
+	}
+	for _, f := range r.PerFile {
+		if err := p("%-48s %6d %6d %6d %8d %12s %12s\n",
+			f.File, f.Peers, f.Finished, f.Stalls, f.Open,
+			secs(f.TotalStallUS), secs(f.MeanStartupUS)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCDF emits a CSV cumulative distribution of the (sorted) sample
+// set: one row per distinct value with the cumulative fraction of
+// samples at or below it.
+func WriteCDF(w io.Writer, header string, sortedUS []int64) error {
+	if _, err := fmt.Fprintf(w, "%s_us,cdf\n", header); err != nil {
+		return err
+	}
+	n := len(sortedUS)
+	for i := 0; i < n; i++ {
+		// Emit only the last occurrence of each value: the CDF at v is
+		// the fraction of samples <= v.
+		if i+1 < n && sortedUS[i+1] == sortedUS[i] {
+			continue
+		}
+		frac := strconv.FormatFloat(float64(i+1)/float64(n), 'f', 6, 64)
+		if _, err := fmt.Fprintf(w, "%d,%s\n", sortedUS[i], frac); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CauseDiff compares one stall cause across two reports.
+type CauseDiff struct {
+	Cause        string `json:"cause"`
+	ACount       int    `json:"a_count"`
+	BCount       int    `json:"b_count"`
+	ATotalUS     int64  `json:"a_total_us"`
+	BTotalUS     int64  `json:"b_total_us"`
+	DeltaTotalUS int64  `json:"delta_total_us"`
+}
+
+// DiffReport compares two trace directories (e.g. adaptive vs fixed-4,
+// or faulted vs clean).
+type DiffReport struct {
+	ALabel string `json:"a"`
+	BLabel string `json:"b"`
+
+	AStalls int `json:"a_stalls"`
+	BStalls int `json:"b_stalls"`
+
+	AStallTotalUS int64 `json:"a_stall_total_us"`
+	BStallTotalUS int64 `json:"b_stall_total_us"`
+
+	AStartupMeanUS int64 `json:"a_startup_mean_us"`
+	BStartupMeanUS int64 `json:"b_startup_mean_us"`
+
+	ASegmentP95US int64 `json:"a_segment_p95_us"`
+	BSegmentP95US int64 `json:"b_segment_p95_us"`
+
+	Causes []CauseDiff `json:"causes"`
+}
+
+// Diff builds the comparison between two reports. Causes appear in
+// descending |delta| order, name-tiebroken.
+func Diff(aLabel string, a *Report, bLabel string, b *Report) *DiffReport {
+	d := &DiffReport{
+		ALabel:         aLabel,
+		BLabel:         bLabel,
+		AStalls:        a.Stalls.Count,
+		BStalls:        b.Stalls.Count,
+		AStallTotalUS:  a.Stalls.Durations.TotalUS,
+		BStallTotalUS:  b.Stalls.Durations.TotalUS,
+		AStartupMeanUS: a.Startup.MeanUS,
+		BStartupMeanUS: b.Startup.MeanUS,
+		ASegmentP95US:  a.Segments.Latency.P95US,
+		BSegmentP95US:  b.Segments.Latency.P95US,
+	}
+	byCause := map[string]*CauseDiff{}
+	var order []string
+	for _, c := range a.Causes {
+		byCause[c.Cause] = &CauseDiff{Cause: c.Cause, ACount: c.Count, ATotalUS: c.TotalUS}
+		order = append(order, c.Cause)
+	}
+	for _, c := range b.Causes {
+		cd := byCause[c.Cause]
+		if cd == nil {
+			cd = &CauseDiff{Cause: c.Cause}
+			byCause[c.Cause] = cd
+			order = append(order, c.Cause)
+		}
+		cd.BCount = c.Count
+		cd.BTotalUS = c.TotalUS
+	}
+	for _, cause := range order {
+		cd := byCause[cause]
+		cd.DeltaTotalUS = cd.BTotalUS - cd.ATotalUS
+		d.Causes = append(d.Causes, *cd)
+	}
+	sort.Slice(d.Causes, func(i, j int) bool {
+		di, dj := abs64(d.Causes[i].DeltaTotalUS), abs64(d.Causes[j].DeltaTotalUS)
+		if di != dj {
+			return di > dj
+		}
+		return d.Causes[i].Cause < d.Causes[j].Cause
+	})
+	return d
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// WriteDiffJSON renders the diff as indented JSON.
+func WriteDiffJSON(w io.Writer, d *DiffReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteDiffTable renders the human-readable comparison.
+func WriteDiffTable(w io.Writer, d *DiffReport) error {
+	p := func(format string, args ...any) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("diff: A=%s B=%s\n", d.ALabel, d.BLabel); err != nil {
+		return err
+	}
+	if err := p("stalls:       A=%d B=%d (%+d)\n", d.AStalls, d.BStalls, d.BStalls-d.AStalls); err != nil {
+		return err
+	}
+	if err := p("stall total:  A=%s B=%s (delta %s)\n",
+		secs(d.AStallTotalUS), secs(d.BStallTotalUS), secs(d.BStallTotalUS-d.AStallTotalUS)); err != nil {
+		return err
+	}
+	if err := p("startup mean: A=%s B=%s (delta %s)\n",
+		secs(d.AStartupMeanUS), secs(d.BStartupMeanUS), secs(d.BStartupMeanUS-d.AStartupMeanUS)); err != nil {
+		return err
+	}
+	if err := p("segment p95:  A=%s B=%s (delta %s)\n\n",
+		secs(d.ASegmentP95US), secs(d.BSegmentP95US), secs(d.BSegmentP95US-d.ASegmentP95US)); err != nil {
+		return err
+	}
+	if len(d.Causes) == 0 {
+		return nil
+	}
+	if err := p("%-16s %8s %8s %12s %12s %12s\n",
+		"stall cause", "A-count", "B-count", "A-total", "B-total", "delta"); err != nil {
+		return err
+	}
+	for _, c := range d.Causes {
+		if err := p("%-16s %8d %8d %12s %12s %12s\n",
+			c.Cause, c.ACount, c.BCount, secs(c.ATotalUS), secs(c.BTotalUS), secs(c.DeltaTotalUS)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

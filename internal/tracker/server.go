@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"p2psplice/internal/container"
+	"p2psplice/internal/trace"
 	"p2psplice/internal/wire"
 )
 
@@ -47,6 +48,15 @@ type Server struct {
 	peerTTL time.Duration
 	now     func() time.Time
 
+	// Request counters and the live swarm gauge. No-op handles unless
+	// WithMetrics supplies a registry.
+	announces      trace.Counter
+	publishes      trace.Counter
+	manifestReads  trace.Counter
+	leaves         trace.Counter
+	announceErrors trace.Counter
+	swarmGauge     trace.Gauge
+
 	mu     sync.Mutex
 	swarms map[wire.InfoHash]*swarmState
 }
@@ -70,6 +80,29 @@ func WithPeerTTL(ttl time.Duration) Option {
 		if ttl > 0 {
 			s.peerTTL = ttl
 		}
+	}
+}
+
+// WithMetrics wires the tracker's request counters and swarm gauge into
+// reg (shared with the rest of the process and served by its /metrics
+// endpoint). Nil leaves the no-op handles in place.
+func WithMetrics(reg *trace.Registry) Option {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		reg.SetHelp("tracker_announces_total", "Successful announce requests.")
+		reg.SetHelp("tracker_announce_errors_total", "Rejected announce requests (bad peer or unknown swarm).")
+		reg.SetHelp("tracker_publishes_total", "Accepted manifest publishes.")
+		reg.SetHelp("tracker_manifest_fetches_total", "Manifest downloads served.")
+		reg.SetHelp("tracker_leaves_total", "Processed leave requests.")
+		reg.SetHelp("tracker_swarms", "Swarms currently registered.")
+		s.announces = reg.Counter("tracker_announces_total")
+		s.announceErrors = reg.Counter("tracker_announce_errors_total")
+		s.publishes = reg.Counter("tracker_publishes_total")
+		s.manifestReads = reg.Counter("tracker_manifest_fetches_total")
+		s.leaves = reg.Counter("tracker_leaves_total")
+		s.swarmGauge = reg.Gauge("tracker_swarms")
 	}
 }
 
@@ -140,7 +173,9 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.swarms[ih]; !ok {
 		s.swarms[ih] = &swarmState{manifest: raw, peers: make(map[string]*peerEntry)}
 	}
+	s.swarmGauge.Set(int64(len(s.swarms)))
 	s.mu.Unlock()
+	s.publishes.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(map[string]string{"info_hash": ih.String()}); err != nil {
 		return // client went away; nothing to do
@@ -168,6 +203,7 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.manifestReads.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	//lint:ignore wireerr response-body write failure means the client went away; nothing to recover server-side
 	_, _ = w.Write(sw.manifest)
@@ -176,20 +212,24 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	sw, _, ok := s.swarmFor(w, r)
 	if !ok {
+		s.announceErrors.Inc()
 		return
 	}
 	q := r.URL.Query()
 	peerID := q.Get("peer_id")
 	if len(peerID) != 2*wire.PeerIDLen {
+		s.announceErrors.Inc()
 		httpError(w, http.StatusBadRequest, "bad peer_id %q", peerID)
 		return
 	}
 	addr := q.Get("addr")
 	if _, _, err := net.SplitHostPort(addr); err != nil {
+		s.announceErrors.Inc()
 		httpError(w, http.StatusBadRequest, "bad addr %q: %v", addr, err)
 		return
 	}
 	seeder := q.Get("seeder") == "1"
+	s.announces.Inc()
 
 	now := s.now()
 	s.mu.Lock()
@@ -225,6 +265,7 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	delete(sw.peers, peerID)
 	s.mu.Unlock()
+	s.leaves.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -25,6 +25,7 @@ import (
 	"p2psplice/internal/cdn"
 	"p2psplice/internal/container"
 	"p2psplice/internal/core"
+	"p2psplice/internal/debughttp"
 	"p2psplice/internal/experiment"
 	"p2psplice/internal/media"
 	"p2psplice/internal/metrics"
@@ -34,6 +35,7 @@ import (
 	"p2psplice/internal/simpeer"
 	"p2psplice/internal/splicer"
 	"p2psplice/internal/topology"
+	"p2psplice/internal/trace"
 	"p2psplice/internal/tracker"
 	"p2psplice/internal/wire"
 )
@@ -203,6 +205,30 @@ type (
 
 // NewTracker returns a tracker; mount its Handler on an http.Server.
 func NewTracker() *Tracker { return tracker.NewServer() }
+
+// Telemetry (internal/trace, internal/debughttp).
+type (
+	// MetricsRegistry accumulates counters, gauges, and histograms.
+	// Assign one to NodeConfig.Metrics to instrument a node; render it
+	// with WriteText (human) or WriteProm (Prometheus exposition).
+	MetricsRegistry = trace.Registry
+	// DebugConfig configures StartDebug.
+	DebugConfig = debughttp.Config
+	// DebugServer serves /metrics, /healthz, and /debug/pprof.
+	DebugServer = debughttp.Server
+)
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return trace.NewRegistry() }
+
+// NewTrackerWithMetrics returns a tracker whose request counters and
+// swarm gauge record into reg.
+func NewTrackerWithMetrics(reg *MetricsRegistry) *Tracker {
+	return tracker.NewServer(tracker.WithMetrics(reg))
+}
+
+// StartDebug serves the operational debug endpoint until Close.
+func StartDebug(cfg DebugConfig) (*DebugServer, error) { return debughttp.Start(cfg) }
 
 // NewTrackerClient returns a client for the tracker at base URL.
 func NewTrackerClient(base string, httpClient *http.Client) *TrackerClient {
