@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint fuzz-smoke bench-json trace-smoke fault-smoke metrics-smoke
+.PHONY: all build test race vet lint bench-alloc fuzz-smoke bench-json trace-smoke fault-smoke metrics-smoke
 
 all: build vet lint test
 
@@ -17,10 +17,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# splicelint: the repo's own static-analysis suite (internal/analysis).
-# Exits non-zero on any unsuppressed finding.
+# splicelint: the repo's own static-analysis suite (internal/analysis),
+# with the full analyzer set, dead-suppression reporting, and a JSON
+# findings artifact for CI. Exits non-zero on any unsuppressed finding.
 lint:
-	$(GO) run ./cmd/splicelint ./...
+	$(GO) run ./cmd/splicelint -deadignores -json ./... > splicelint.json || \
+		{ cat splicelint.json; exit 1; }
+	$(GO) run ./cmd/splicelint -deadignores ./...
+
+# bench-alloc: run the //lint:hotpath benchmarks with -benchmem and fail
+# on any nonzero allocs/op — the runtime half of the allocfree analyzer's
+# static contract. Not run under -race (instrumentation allocates).
+bench-alloc:
+	$(GO) test -run='^$$' -bench='^BenchmarkHotpath' -benchmem \
+		./internal/wire ./internal/trace ./internal/sim > bench-alloc.txt || \
+		{ cat bench-alloc.txt; exit 1; }
+	@cat bench-alloc.txt
+	@awk '/^BenchmarkHotpath/ { seen++; if ($$(NF-1) != 0) { print "bench-alloc: " $$1 " allocates " $$(NF-1) " allocs/op, want 0"; bad = 1 } } \
+		END { if (!seen) { print "bench-alloc: no hotpath benchmarks ran"; exit 1 }; if (bad) exit 1; print "bench-alloc: " seen " hotpath benchmarks at 0 allocs/op" }' bench-alloc.txt
 
 # bench-json: quick-scale figure regeneration as a machine-readable
 # artifact (the bench trajectory's stable format), plus one pass of the

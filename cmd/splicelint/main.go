@@ -1,19 +1,26 @@
 // Command splicelint runs the repository's static-analysis suite: the
-// determinism, mutexguard, golifecycle, wireerr, and floatcmp analyzers
-// from internal/analysis, built entirely on the stdlib go/* packages.
+// determinism, detercall, mutexguard, golifecycle, wireerr, floatcmp,
+// allocfree, and atomicguard analyzers from internal/analysis, built
+// entirely on the stdlib go/* packages.
 //
 // Usage:
 //
-//	splicelint [-json] [-enable a,b] [-disable a,b] [-list] [patterns...]
+//	splicelint [-json] [-enable a,b] [-disable a,b] [-deadignores] [-list] [patterns...]
 //
-// Patterns default to ./... relative to the module root. Exit status is
-// 0 when clean, 1 when findings were reported, 2 on usage or load
-// errors. Findings can be silenced in source with
+// Patterns default to ./... relative to the module root; they are
+// always expanded to their module-internal dependency closure so the
+// cross-package facts engine (detercall, allocfree, atomicguard) sees
+// every helper package the named packages reach. Exit status is 0 when
+// clean, 1 when findings were reported, 2 on usage or load errors.
+// Findings can be silenced in source with
 //
 //	//lint:ignore analyzer reason
 //
 // on, or directly above, the offending line; a suppression without a
-// reason is itself reported.
+// reason is itself reported. With -deadignores, well-formed
+// //lint:ignore comments that silenced nothing are reported too (only
+// meaningful with the full analyzer set: a disabled analyzer makes its
+// suppressions look dead).
 package main
 
 import (
@@ -39,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	deadIgnores := fs.Bool("deadignores", false, "also report //lint:ignore comments that suppress nothing")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	modRoot := fs.String("mod", "", "module root (default: walk up from cwd to go.mod)")
 	fs.Usage = func() {
@@ -83,13 +91,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "splicelint:", err)
 		return 2
 	}
+	pkgs = loader.Closure(pkgs)
 
-	findings, err := analysis.Run(analyzers, pkgs)
+	res, err := analysis.RunResult(analyzers, pkgs)
 	if err != nil {
 		fmt.Fprintln(stderr, "splicelint:", err)
 		return 2
 	}
+	findings := res.Findings
 	findings = append(findings, analysis.BadSuppressions(pkgs)...)
+	if *deadIgnores {
+		findings = append(findings, res.DeadIgnores...)
+	}
 	for i := range findings {
 		findings[i].File = relPath(findings[i].File)
 	}

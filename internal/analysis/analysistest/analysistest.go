@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -88,6 +89,117 @@ func RunNoMatch(t *testing.T, dir string, a *analysis.Analyzer, asPath string) {
 	}
 }
 
+// RunModule exercises an analyzer across a multi-package fixture: a
+// miniature module whose packages live in subdirectories of dir. The
+// paths map names each subdirectory's fake import path (fixture code
+// imports the fake paths directly, e.g. `import
+// "p2psplice/internal/helper"`). Packages are type-checked against each
+// other — facts flow between them exactly as in a real module run — and
+// // want comments are honored in every fixture file. It returns the
+// engine's full result so callers can also assert on dead ignores.
+func RunModule(t *testing.T, dir string, a *analysis.Analyzer, paths map[string]string) *analysis.Result {
+	t.Helper()
+	pkgs := loadModuleFixture(t, dir, paths)
+	res, err := analysis.RunResult([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWantsAll(t, pkgs, res.Findings)
+	return res
+}
+
+// loadModuleFixture type-checks every subdirectory fixture package under
+// its fake import path, in dependency order (re-running until the
+// importer has what it needs would be circular; instead the fixture
+// importer recursively loads module-internal imports on demand).
+func loadModuleFixture(t *testing.T, dir string, paths map[string]string) []*analysis.Package {
+	t.Helper()
+	fset, std := sharedImporter()
+	fm := &fixtureModule{
+		fset: fset,
+		std:  std,
+		dirs: map[string]string{},
+		pkgs: map[string]*analysis.Package{},
+	}
+	var order []string
+	for sub, path := range paths {
+		fm.dirs[path] = filepath.Join(dir, sub)
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	var pkgs []*analysis.Package
+	for _, path := range order {
+		pkg, err := fm.load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// fixtureModule resolves fake module-internal import paths to fixture
+// subdirectories, and everything else through the stdlib source
+// importer — the analysistest equivalent of the real Loader.
+type fixtureModule struct {
+	fset *token.FileSet
+	std  types.Importer
+	dirs map[string]string // fake import path -> fixture dir
+	pkgs map[string]*analysis.Package
+}
+
+func (m *fixtureModule) Import(path string) (*types.Package, error) {
+	if _, ok := m.dirs[path]; ok {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+func (m *fixtureModule) load(path string) (*analysis.Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := m.dirs[path]
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(path, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-check %s: %w", dir, err)
+	}
+	pkg := &analysis.Package{Path: path, Dir: dir, Fset: m.fset, Files: files, Types: tpkg, Info: info}
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
 // loadFixture parses and type-checks every .go file in dir as one
 // package with import path asPath.
 func loadFixture(dir, asPath string) (*analysis.Package, error) {
@@ -131,21 +243,29 @@ var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
 // checkWants matches findings against // want comments line by line.
 func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
 	t.Helper()
+	checkWantsAll(t, []*analysis.Package{pkg}, findings)
+}
+
+// checkWantsAll is checkWants over every package of a module fixture.
+func checkWantsAll(t *testing.T, pkgs []*analysis.Package, findings []analysis.Finding) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	wants := map[key][]*regexp.Regexp{}
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
-					rx, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
-					if err != nil {
-						t.Fatalf("bad want regexp %q: %v", m[1], err)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						rx, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+						if err != nil {
+							t.Fatalf("bad want regexp %q: %v", m[1], err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], rx)
 					}
-					pos := pkg.Fset.Position(c.Pos())
-					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], rx)
 				}
 			}
 		}

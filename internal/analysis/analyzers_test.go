@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"p2psplice/internal/analysis"
@@ -43,10 +44,52 @@ func TestFloatcmpOutOfScope(t *testing.T) {
 	analysistest.RunNoMatch(t, "testdata/floatcmp", analysis.Floatcmp, "p2psplice/internal/tracker")
 }
 
+func TestDetercall(t *testing.T) {
+	res := analysistest.RunModule(t, "testdata/detercall", analysis.Detercall, map[string]string{
+		"helper": "p2psplice/internal/helper",
+		"sim":    "p2psplice/internal/sim",
+	})
+	// The fixture's one suppression silences a real chain; it must not
+	// read as dead.
+	for _, d := range res.DeadIgnores {
+		t.Errorf("unexpected dead ignore: %s", d)
+	}
+}
+
+func TestAllocfree(t *testing.T) {
+	analysistest.RunModule(t, "testdata/allocfree", analysis.Allocfree, map[string]string{
+		"dep": "p2psplice/internal/dep",
+		"hot": "p2psplice/internal/hot",
+	})
+}
+
+func TestAtomicguard(t *testing.T) {
+	analysistest.RunModule(t, "testdata/atomicguard", analysis.Atomicguard, map[string]string{
+		"state": "p2psplice/internal/state",
+		"user":  "p2psplice/internal/user",
+	})
+}
+
+func TestDeadIgnores(t *testing.T) {
+	res := analysistest.RunModule(t, "testdata/deadignore", analysis.Determinism, map[string]string{
+		"pkg": "p2psplice/internal/sim/deadfixture",
+	})
+	if len(res.Findings) != 0 {
+		t.Errorf("live suppression failed: %v", res.Findings)
+	}
+	if len(res.DeadIgnores) != 1 {
+		t.Fatalf("expected exactly one dead ignore, got %v", res.DeadIgnores)
+	}
+	d := res.DeadIgnores[0]
+	if d.Analyzer != "deadignore" || !strings.Contains(d.Message, "determinism") {
+		t.Errorf("unexpected dead-ignore finding: %s", d)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 8 {
+		t.Fatalf("expected 8 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taintFact marks a function that transitively reaches a
+// nondeterministic source: a wall-clock read, the process-global RNG,
+// an entropy read, or an order-nondeterministic construct. Chain[0] is
+// the function itself and the last element describes the source, so the
+// report at the leak's entry edge can show the whole path.
+type taintFact struct {
+	Chain []string
+}
+
+func (*taintFact) AFact() {}
+
+func (f *taintFact) String() string { return strings.Join(f.Chain, " -> ") }
+
+// Detercall closes the hole the direct-call determinism analyzer leaves
+// open: a time.Now or rand.Intn buried in a helper package is invisible
+// to a per-package check, but the simulated data path still reaches it.
+// The analyzer computes the module call graph bottom-up (dependency
+// order, via the facts engine): every function that directly contains a
+// nondeterministic source is tainted, every function that calls or
+// references a tainted function is tainted, and each taint records a
+// representative call chain to its source. A function in a
+// DeterministicPackages entry that calls a tainted function *outside*
+// the deterministic set is a leak, reported at the call site with the
+// full chain. Direct source calls inside deterministic packages remain
+// the determinism analyzer's findings; bare references to source
+// functions (e.g. storing time.Now as a clock default) are reported
+// here because no call expression exists for determinism to flag.
+//
+// Dynamic calls (interface methods, function values) are not resolved;
+// injected-clock indirection is therefore invisible by design — that is
+// exactly the sanctioned escape hatch.
+var Detercall = &Analyzer{
+	Name:      "detercall",
+	Doc:       "forbid call chains from deterministic packages that transitively reach wall clocks, global RNG, entropy, or unsorted map iteration",
+	Match:     matchPaths(DeterministicPackages...),
+	FactTypes: []Fact{(*taintFact)(nil)},
+	Run:       runDetercall,
+}
+
+// sourceDesc reports whether obj is a nondeterministic source function
+// and describes it for call chains.
+func sourceDesc(obj *types.Func) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false // methods: only package-level functions are sources
+	}
+	switch pkg.Path() {
+	case "time":
+		if wallClockFuncs[obj.Name()] {
+			return "time." + obj.Name() + " (wall clock)", true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[obj.Name()] {
+			return "rand." + obj.Name() + " (process-global RNG)", true
+		}
+	case "crypto/rand":
+		return "crypto/rand." + obj.Name() + " (entropy read)", true
+	}
+	return "", false
+}
+
+// funcUse is one appearance of a function object in a body: either the
+// callee of a call expression or a bare reference (a stored or passed
+// function value).
+type funcUse struct {
+	obj  *types.Func
+	pos  token.Pos
+	call bool
+}
+
+// fnNode is the per-function call-graph node built from one FuncDecl.
+type fnNode struct {
+	fn      *types.Func
+	uses    []funcUse
+	sources []string // direct nondeterministic sources, chain-formatted
+	srcPos  token.Pos
+}
+
+func runDetercall(pass *Pass) error {
+	nodes := collectFnNodes(pass)
+
+	// Taint fixpoint within the package. Imported facts are already
+	// final (dependency order), so only intra-package edges need
+	// iteration; chains are picked first-use-in-source-order, which
+	// keeps output deterministic.
+	taint := map[*types.Func][]string{}
+	for _, n := range nodes {
+		if len(n.sources) > 0 {
+			taint[n.fn] = []string{funcDisplay(n.fn), n.sources[0]}
+		}
+	}
+	chainOf := func(obj *types.Func) []string {
+		if c, ok := taint[obj]; ok {
+			return c
+		}
+		if obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+			var tf taintFact
+			if pass.ImportObjectFact(obj, &tf) {
+				return tf.Chain
+			}
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if taint[n.fn] != nil {
+				continue
+			}
+			for _, u := range n.uses {
+				if chain := chainOf(u.obj); chain != nil {
+					taint[n.fn] = append([]string{funcDisplay(n.fn)}, chain...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if chain := taint[n.fn]; chain != nil {
+			pass.ExportObjectFact(n.fn, &taintFact{Chain: chain})
+		}
+	}
+
+	// Reporting. The engine discards findings outside Match, so this
+	// runs unconditionally; only deterministic packages surface them.
+	deterministic := matchPaths(DeterministicPackages...)
+	for _, n := range nodes {
+		reported := map[*types.Func]bool{}
+		for _, u := range n.uses {
+			if reported[u.obj] {
+				continue
+			}
+			if desc, ok := sourceDesc(u.obj); ok {
+				if !u.call {
+					reported[u.obj] = true
+					pass.Reportf(u.pos, "reference to %s leaks nondeterminism into a deterministic package; inject a clock or seeded RNG instead", desc)
+				}
+				continue // direct source calls are determinism's findings
+			}
+			pkg := u.obj.Pkg()
+			if pkg == nil || !moduleInternal(pass.ModulePath, pkg.Path()) || deterministic(pkg.Path()) {
+				continue
+			}
+			chain := chainOf(u.obj)
+			if chain == nil {
+				continue
+			}
+			reported[u.obj] = true
+			pass.Reportf(u.pos, "call chain reaches nondeterminism: %s",
+				strings.Join(append([]string{funcDisplay(n.fn)}, chain...), " -> "))
+		}
+	}
+
+	reportTopLevelSourceRefs(pass)
+	return nil
+}
+
+// collectFnNodes builds one call-graph node per function declaration:
+// every *types.Func used in the body (called or referenced, including
+// inside nested function literals, which are attributed to the
+// declaring function) plus the direct nondeterministic sources.
+func collectFnNodes(pass *Pass) []*fnNode {
+	var nodes []*fnNode
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &fnNode{fn: fn}
+			callIdents := map[*ast.Ident]bool{}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						callIdents[fun] = true
+					case *ast.SelectorExpr:
+						callIdents[fun.Sel] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				use := funcUse{obj: obj, pos: id.Pos(), call: callIdents[id]}
+				n.uses = append(n.uses, use)
+				if desc, ok := sourceDesc(obj); ok {
+					n.sources = append(n.sources, desc)
+					if n.srcPos == token.NoPos {
+						n.srcPos = id.Pos()
+					}
+				}
+				return true
+			})
+			for _, hit := range unsortedMapRanges(pass.TypesInfo, fd.Body) {
+				n.sources = append(n.sources, fmt.Sprintf("unsorted map iteration feeding %q", hit.varName))
+			}
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// reportTopLevelSourceRefs flags package-level variable initializers
+// that store a reference to a source function (`var now = time.Now`):
+// no call expression exists for the determinism analyzer to catch, yet
+// every later use of the variable reads the wall clock.
+func reportTopLevelSourceRefs(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			ast.Inspect(gd, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if desc, ok := sourceDesc(obj); ok {
+					pass.Reportf(id.Pos(), "reference to %s leaks nondeterminism into a deterministic package; inject a clock or seeded RNG instead", desc)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcDisplay renders a function or method as pkg.Name or
+// pkg.(*Recv).Name for call chains.
+func funcDisplay(f *types.Func) string {
+	pkgName := ""
+	if f.Pkg() != nil {
+		pkgName = f.Pkg().Name() + "."
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		ptr := ""
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return fmt.Sprintf("%s(%s%s).%s", pkgName, ptr, named.Obj().Name(), f.Name())
+		}
+	}
+	return pkgName + f.Name()
+}

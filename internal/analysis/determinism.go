@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // DeterministicPackages lists the packages that must be bit-for-bit
@@ -13,6 +14,10 @@ import (
 // our substitute claims to do better, so any wall-clock read, global
 // (unseeded) RNG use, or order-sensitive map iteration in these
 // packages silently invalidates the headline stall/startup figures.
+// The list is the closure of the emulation data path: everything the
+// experiment harness reaches, directly or through helpers, except the
+// real-network stack (peer, tracker, shaper, cdn) whose wall-clock
+// timing is the thing the emulation is compared against.
 var DeterministicPackages = []string{
 	"p2psplice/internal/sim",
 	"p2psplice/internal/netem",
@@ -24,6 +29,10 @@ var DeterministicPackages = []string{
 	"p2psplice/internal/trace",
 	"p2psplice/internal/fault",
 	"p2psplice/internal/tracereport",
+	"p2psplice/internal/core",
+	"p2psplice/internal/container",
+	"p2psplice/internal/topology",
+	"p2psplice/internal/player",
 }
 
 // Determinism flags, inside the simulation-deterministic packages:
@@ -44,8 +53,12 @@ var Determinism = &Analyzer{
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 // math/rand package-level functions that are allowed because they only
-// construct explicitly seeded generators.
-var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+// construct explicitly seeded generators (the v2 source constructors
+// included).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
 
 func runDeterminism(pass *Pass) error {
 	for _, file := range pass.Files {
@@ -58,24 +71,42 @@ func runDeterminism(pass *Pass) error {
 			}
 			return true
 		})
-		// Map-range loops need the statement list around them to look
-		// for a later sort, so walk blocks rather than single nodes.
-		ast.Inspect(file, func(n ast.Node) bool {
-			body, ok := blockStmts(n)
-			if !ok {
-				return true
-			}
-			for i, st := range body {
-				rng, ok := st.(*ast.RangeStmt)
-				if !ok {
-					continue
-				}
-				checkMapRange(pass, rng, body[i+1:])
-			}
-			return true
-		})
+		for _, hit := range unsortedMapRanges(pass.TypesInfo, file) {
+			pass.Reportf(hit.pos, "map iteration order feeds %q without a subsequent sort; iteration order is nondeterministic", hit.varName)
+		}
 	}
 	return nil
+}
+
+// mapRangeHit is one `for range m` over a map whose body appends to an
+// outer variable that is never sorted afterwards in the same block.
+type mapRangeHit struct {
+	pos     token.Pos
+	varName string
+}
+
+// unsortedMapRanges finds the order-nondeterministic map-range
+// construct anywhere under root. Map-range loops need the statement
+// list around them to look for a later sort, so it walks blocks rather
+// than single nodes. Shared by determinism (direct reporting) and
+// detercall (as a taint source in helper packages).
+func unsortedMapRanges(info *types.Info, root ast.Node) []mapRangeHit {
+	var hits []mapRangeHit
+	ast.Inspect(root, func(n ast.Node) bool {
+		body, ok := blockStmts(n)
+		if !ok {
+			return true
+		}
+		for i, st := range body {
+			rng, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			hits = append(hits, checkMapRange(info, rng, body[i+1:])...)
+		}
+		return true
+	})
+	return hits
 }
 
 func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
@@ -101,44 +132,57 @@ func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
 
 // selectorPackage resolves sel.X to an imported package name, if it is one.
 func selectorPackage(pass *Pass, sel *ast.SelectorExpr) (*types.PkgName, bool) {
+	return infoSelectorPackage(pass.TypesInfo, sel)
+}
+
+// infoSelectorPackage is selectorPackage for helpers that carry only a
+// *types.Info.
+func infoSelectorPackage(info *types.Info, sel *ast.SelectorExpr) (*types.PkgName, bool) {
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return nil, false
 	}
-	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	pn, ok := info.Uses[id].(*types.PkgName)
 	return pn, ok
 }
 
-// checkMapRange flags `for ... := range m` over a map when the body
-// appends to a variable declared outside the loop and no statement
-// after the loop (in the same block) sorts that variable.
-func checkMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
-	t := pass.TypesInfo.TypeOf(rng.X)
+// checkMapRange returns a hit for `for ... := range m` over a map when
+// the body appends to a variable declared outside the loop and no
+// statement after the loop (in the same block) sorts that variable.
+func checkMapRange(info *types.Info, rng *ast.RangeStmt, rest []ast.Stmt) []mapRangeHit {
+	t := info.TypeOf(rng.X)
 	if t == nil {
-		return
+		return nil
 	}
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
-		return
+		return nil
 	}
-	targets := outerAppendTargets(pass, rng)
+	targets := outerAppendTargets(info, rng)
 	if len(targets) == 0 {
-		return
+		return nil
 	}
 	for _, st := range rest {
 		for obj := range targets {
-			if sortsVariable(pass, st, obj) {
+			if sortsVariable(info, st, obj) {
 				delete(targets, obj)
 			}
 		}
 	}
+	var hits []mapRangeHit
+	names := make([]string, 0, len(targets))
 	for obj := range targets {
-		pass.Reportf(rng.Pos(), "map iteration order feeds %q without a subsequent sort; iteration order is nondeterministic", obj.Name())
+		names = append(names, obj.Name())
 	}
+	sort.Strings(names)
+	for _, name := range names {
+		hits = append(hits, mapRangeHit{pos: rng.Pos(), varName: name})
+	}
+	return hits
 }
 
 // outerAppendTargets finds variables declared outside the loop that the
 // loop body appends to.
-func outerAppendTargets(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+func outerAppendTargets(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
 	targets := map[types.Object]bool{}
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -147,14 +191,14 @@ func outerAppendTargets(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
 		}
 		for i, rhs := range as.Rhs {
 			call, ok := rhs.(*ast.CallExpr)
-			if !ok || !isBuiltin(pass, call.Fun, "append") || i >= len(as.Lhs) {
+			if !ok || !isBuiltin(info, call.Fun, "append") || i >= len(as.Lhs) {
 				continue
 			}
 			id := rootIdent(as.Lhs[i])
 			if id == nil {
 				continue
 			}
-			obj := pass.TypesInfo.ObjectOf(id)
+			obj := info.ObjectOf(id)
 			if obj == nil || obj.Pos() == token.NoPos {
 				continue
 			}
@@ -170,7 +214,7 @@ func outerAppendTargets(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
 
 // sortsVariable reports whether stmt calls a sort.* or slices.Sort*
 // function mentioning obj.
-func sortsVariable(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+func sortsVariable(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
 	found := false
 	ast.Inspect(stmt, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -181,7 +225,7 @@ func sortsVariable(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
 		if !ok {
 			return true
 		}
-		pn, ok := selectorPackage(pass, sel)
+		pn, ok := infoSelectorPackage(info, sel)
 		if !ok {
 			return true
 		}
@@ -191,7 +235,7 @@ func sortsVariable(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
 		for _, arg := range call.Args {
 			mentioned := false
 			ast.Inspect(arg, func(a ast.Node) bool {
-				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				if id, ok := a.(*ast.Ident); ok && info.ObjectOf(id) == obj {
 					mentioned = true
 				}
 				return !mentioned
@@ -205,12 +249,12 @@ func sortsVariable(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
 	return found
 }
 
-func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
 	id, ok := fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	_, ok = info.ObjectOf(id).(*types.Builtin)
 	return ok
 }
 

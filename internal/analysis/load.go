@@ -243,6 +243,51 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	return pkg, nil
 }
 
+// Closure expands pkgs to their full module-internal dependency
+// closure, drawing on the packages the loader already type-checked
+// while resolving imports. The result is deterministic: the input
+// packages in order, then the discovered dependencies sorted by import
+// path. Analyzers that compute cross-package facts need the closure —
+// a pattern like ./internal/sim must still see the helper packages the
+// sim data path calls into.
+func (l *Loader) Closure(pkgs []*Package) []*Package {
+	seen := map[string]bool{}
+	out := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	var extra []string
+	var visit func(t *types.Package)
+	visit = func(t *types.Package) {
+		path := t.Path()
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		if dep, ok := l.pkgs[path]; ok {
+			extra = append(extra, path)
+			for _, imp := range dep.Types.Imports() {
+				visit(imp)
+			}
+			return
+		}
+		// Not module-internal (stdlib): no syntax to analyze.
+	}
+	for _, p := range pkgs {
+		for _, imp := range p.Types.Imports() {
+			visit(imp)
+		}
+	}
+	sort.Strings(extra)
+	for _, path := range extra {
+		out = append(out, l.pkgs[path])
+	}
+	return out
+}
+
 // importFor resolves an import encountered while type-checking:
 // module-internal packages recurse through the loader, everything else
 // is delegated to the stdlib source importer.

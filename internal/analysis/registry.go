@@ -4,10 +4,13 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
+		Detercall,
 		Mutexguard,
 		Golifecycle,
 		Wireerr,
 		Floatcmp,
+		Allocfree,
+		Atomicguard,
 	}
 }
 

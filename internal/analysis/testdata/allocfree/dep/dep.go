@@ -1,0 +1,9 @@
+// Package dep provides callees for the cross-package hotpath-contract
+// check: hot code may call Fast (marked, fact exported) but not Slow.
+package dep
+
+//lint:hotpath covered by the fixture's contract
+func Fast(x int) int { return x + 1 }
+
+// Slow carries no hotpath marker; hot callers must be flagged.
+func Slow(x int) int { return x + 2 }

@@ -1,0 +1,19 @@
+// Package user imports state and completes both cross-package mixes.
+package user
+
+import (
+	"sync/atomic"
+
+	"p2psplice/internal/state"
+)
+
+// Read is the plain half of Gauge.Val; the atomic half is state.Bump.
+func Read(g *state.Gauge) int64 {
+	return g.Val // want "field Val is accessed via sync/atomic .* but non-atomically here"
+}
+
+// Raise is the atomic half of Flags.Bits; the plain half is
+// state.Plain, in the package this one imports.
+func Raise(f *state.Flags) {
+	atomic.StoreUint32(&f.Bits, 1)
+}

@@ -1,0 +1,17 @@
+// Package pkg carries one live suppression (it silences a real
+// determinism finding, so no want comment exists for it) and one stale
+// suppression that silences nothing and must be reported dead.
+package pkg
+
+import "time"
+
+func used() time.Time {
+	//lint:ignore determinism fixture: justified wall-clock read
+	return time.Now()
+}
+
+//lint:ignore determinism fixture: stale, nothing on this line or the next
+var version = 3
+
+var _ = used
+var _ = version

@@ -1,0 +1,16 @@
+// Package helper is a fixture package OUTSIDE the deterministic set: a
+// per-package analyzer never sees its wall-clock read from the caller's
+// side. No findings surface here (detercall's Match rejects the path);
+// the package exists to carry taint facts across the package boundary.
+package helper
+
+import "time"
+
+// Stamp reads the wall clock directly: the taint source.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect adds one hop so chains longer than a single edge are proven.
+func Indirect() int64 { return Stamp() + 1 }
+
+// Pure is taint-free: callers stay clean.
+func Pure(a, b int) int { return a + b }

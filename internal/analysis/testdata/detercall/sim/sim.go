@@ -1,0 +1,35 @@
+// Package sim is loaded under a DeterministicPackages path: every leak
+// of nondeterminism through the helper package must surface here, with
+// the full call chain.
+package sim
+
+import (
+	"time"
+
+	"p2psplice/internal/helper"
+)
+
+// clock stores a wall-clock reference at package level: no call
+// expression exists for the direct-call determinism analyzer to flag,
+// so detercall owns this finding.
+var clock = time.Now // want "reference to time.Now \(wall clock\) leaks nondeterminism"
+
+// Step leaks through two helper hops; the report carries the chain.
+func Step() int64 {
+	return helper.Indirect() // want "call chain reaches nondeterminism: sim.Step -> helper.Indirect -> helper.Stamp -> time.Now \(wall clock\)"
+}
+
+// sample passes a source function as a value instead of calling it.
+func sample() func() time.Time {
+	return time.Now // want "reference to time.Now \(wall clock\) leaks nondeterminism"
+}
+
+// Sum only touches the taint-free helper: clean.
+func Sum() int { return helper.Pure(1, 2) }
+
+// stamped exercises a justified suppression: the finding exists but is
+// silenced, and the suppression counts as used (not dead).
+func stamped() int64 {
+	//lint:ignore detercall fixture: deliberate wall-clock edge under a justification
+	return helper.Stamp()
+}

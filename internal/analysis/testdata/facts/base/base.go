@@ -1,0 +1,9 @@
+// Package base is the dependency in the facts round-trip test: the
+// probe analyzer exports facts on its functions, and package top must
+// see them — proving facts flow along the import edge regardless of the
+// order packages were handed to the engine.
+package base
+
+func Tick() int { return 1 }
+
+func Tock() int { return 2 }

@@ -1,0 +1,7 @@
+// Package top imports base; the probe analyzer imports the facts base
+// exported while analyzing this package.
+package top
+
+import "p2psplice/internal/analysis/testdata/facts/base"
+
+func Use() int { return base.Tick() + base.Tock() }

@@ -113,12 +113,12 @@ func Handler(reg *trace.Registry, start time.Time) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		//lint:ignore wireerr client disconnect mid-scrape is not actionable server-side
+		// Client disconnect mid-scrape is not actionable server-side.
 		_, _ = fmt.Fprint(w, b.String())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		//lint:ignore wireerr client disconnect mid-probe is not actionable server-side
+		// Client disconnect mid-probe is not actionable server-side.
 		_, _ = fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

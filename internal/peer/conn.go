@@ -14,8 +14,9 @@ type conn struct {
 	node   *Node
 	id     wire.PeerID
 	raw    net.Conn
-	wmu    sync.Mutex // serializes writes
-	mu     sync.Mutex // guards have and closed
+	wmu    sync.Mutex   // serializes writes
+	wr     *wire.Writer // reusable encode buffer, guarded by wmu
+	mu     sync.Mutex   // guards have and closed
 	have   []bool     // remote's bitfield
 	closed bool
 
@@ -38,6 +39,7 @@ func (n *Node) startConn(raw net.Conn, id wire.PeerID) error {
 		node: n,
 		id:   id,
 		raw:  raw,
+		wr:   wire.NewWriter(raw),
 		have: make([]bool, n.store.Segments()),
 	}
 	n.mu.Lock()
@@ -110,11 +112,15 @@ func (n *Node) dropConn(c *conn, err error) {
 	}
 }
 
-// send writes one message, serialized against concurrent senders.
+// send writes one message, serialized against concurrent senders. The
+// shared Writer keeps the steady-state send path allocation-free.
 func (c *conn) send(m *wire.Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return wire.Write(c.raw, m)
+	if c.wr == nil { // conns built by tests skip startConn
+		c.wr = wire.NewWriter(c.raw)
+	}
+	return c.wr.WriteMsg(m)
 }
 
 // close shuts the underlying conn; safe to call multiple times.
@@ -135,11 +141,18 @@ func (c *conn) remoteHas(i int) bool {
 	return i >= 0 && i < len(c.have) && c.have[i]
 }
 
-// readLoop processes inbound messages until the connection fails.
+// readLoop processes inbound messages until the connection fails. The
+// Reader and Message are reused across iterations — every handler
+// either finishes with the payload before the next read or copies it
+// (onPiece copies into the download buffer, the bitfield is decoded
+// into a fresh slice), so the aliasing is safe and the steady-state
+// receive path is allocation-free.
 func (c *conn) readLoop() error {
+	rd := wire.NewReader(c.raw)
+	var msg wire.Message
 	for {
-		m, err := wire.Read(c.raw)
-		if err != nil {
+		m := &msg
+		if err := rd.ReadInto(m); err != nil {
 			return err
 		}
 		switch m.Type {

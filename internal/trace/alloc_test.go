@@ -1,0 +1,42 @@
+// Zero-allocation tests for the //lint:hotpath contract on the QoE
+// recording path. Excluded under -race because race instrumentation
+// inserts allocations the production build does not have.
+
+//go:build !race
+
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestZeroAllocObserve pins Histogram.Observe and ObserveDuration at
+// zero heap allocations per observation, nil handles included.
+func TestZeroAllocObserve(t *testing.T) {
+	h := Histogram{h: &histState{scale: 1e-6}}
+	var noop Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		h.ObserveDuration(5 * time.Millisecond)
+		noop.Observe(1)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocated %.1f times per call, want 0", allocs)
+	}
+	if h.Count() != 2002 { // 1001 runs (warm-up included) x 2 live observations
+		t.Errorf("count %d after allocation test, want 2002", h.Count())
+	}
+}
+
+// BenchmarkHotpathHistogramObserve is the -benchmem gate for the QoE
+// recording path: `make bench-alloc` fails if it reports nonzero
+// allocs/op.
+func BenchmarkHotpathHistogramObserve(b *testing.B) {
+	h := Histogram{h: &histState{scale: 1e-6}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -12,8 +12,23 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+)
+
+// Sentinel decode/encode errors. The hot-path Encode/Decode/EncodedLen
+// methods return these unwrapped (building a formatted error per
+// message would allocate); the convenience Read/Write wrappers add
+// context with fmt.Errorf.
+var (
+	ErrPieceSize     = errors.New("wire: piece data size out of range")
+	ErrBitfieldSize  = errors.New("wire: bitfield size out of range")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+	ErrFrameLength   = errors.New("wire: message length out of range")
+	ErrPayloadSize   = errors.New("wire: payload size does not match message type")
+	ErrRequestLength = errors.New("wire: request length out of range")
+	ErrShortBuffer   = errors.New("wire: buffer too small for encoded message")
 )
 
 // ProtocolMagic identifies the protocol in the handshake.
@@ -69,6 +84,8 @@ type Message struct {
 }
 
 // payloadLen returns the encoded payload size for m.
+//
+//lint:hotpath called per message on the encode path
 func (m *Message) payloadLen() (int, error) {
 	switch m.Type {
 	case MsgChoke, MsgUnchoke, MsgInterested, MsgNotInterested, MsgKeepAlive:
@@ -79,29 +96,47 @@ func (m *Message) payloadLen() (int, error) {
 		return 12, nil
 	case MsgPiece:
 		if len(m.Data) == 0 || len(m.Data) > MaxBlockLen {
-			return 0, fmt.Errorf("wire: piece data %d bytes outside (0, %d]", len(m.Data), MaxBlockLen)
+			return 0, ErrPieceSize
 		}
 		return 8 + len(m.Data), nil
 	case MsgBitfield:
 		if len(m.Bitfield) == 0 || len(m.Bitfield) > MaxBitfieldLen {
-			return 0, fmt.Errorf("wire: bitfield %d bytes outside (0, %d]", len(m.Bitfield), MaxBitfieldLen)
+			return 0, ErrBitfieldSize
 		}
 		return len(m.Bitfield), nil
 	default:
-		return 0, fmt.Errorf("wire: unknown message type %d", m.Type)
+		return 0, ErrUnknownType
 	}
 }
 
-// Write encodes m to w.
-func Write(w io.Writer, m *Message) error {
+// EncodedLen returns the full frame size (length prefix included) that
+// Encode will produce for m, or a sentinel error for an invalid message.
+//
+//lint:hotpath called per message on the encode path
+func (m *Message) EncodedLen() (int, error) {
 	plen, err := m.payloadLen()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	buf := make([]byte, 5+plen)
+	return 5 + plen, nil
+}
+
+// Encode writes m's frame into buf, which must hold at least
+// EncodedLen bytes, and returns the number of bytes written.
+//
+//lint:hotpath the per-message encode: the benchmarks assert 0 allocs/op
+func (m *Message) Encode(buf []byte) (int, error) {
+	plen, err := m.payloadLen()
+	if err != nil {
+		return 0, err
+	}
+	n := 5 + plen
+	if len(buf) < n {
+		return 0, ErrShortBuffer
+	}
 	binary.BigEndian.PutUint32(buf[0:4], uint32(1+plen))
 	buf[4] = byte(m.Type)
-	p := buf[5:]
+	p := buf[5:n]
 	switch m.Type {
 	case MsgHave:
 		binary.BigEndian.PutUint32(p, m.Index)
@@ -116,62 +151,152 @@ func Write(w io.Writer, m *Message) error {
 	case MsgBitfield:
 		copy(p, m.Bitfield)
 	}
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("wire: write %s: %w", m.Type, err)
-	}
-	return nil
+	return n, nil
 }
 
-// Read decodes one message from r, enforcing the payload limits.
-func Read(r io.Reader) (*Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("wire: read length: %w", err)
+// Decode populates m from one frame body (the bytes after the 4-byte
+// length prefix: type byte plus payload), enforcing the payload limits.
+// m is fully overwritten, so a caller may reuse one Message across
+// frames; Data and Bitfield alias body and are valid only as long as
+// the caller keeps body intact.
+//
+//lint:hotpath the per-message decode: the benchmarks assert 0 allocs/op
+func (m *Message) Decode(body []byte) error {
+	if len(body) == 0 {
+		return ErrFrameLength
 	}
-	length := binary.BigEndian.Uint32(lenBuf[:])
-	if length == 0 || length > 9+MaxBlockLen && length > 1+MaxBitfieldLen {
-		return nil, fmt.Errorf("wire: message length %d out of range", length)
-	}
-	body := make([]byte, length)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("wire: read body: %w", err)
-	}
-	m := &Message{Type: MessageType(body[0])}
+	m.Type = MessageType(body[0])
+	m.Index, m.Offset, m.Length = 0, 0, 0
+	m.Bitfield, m.Data = nil, nil
 	p := body[1:]
 	switch m.Type {
 	case MsgChoke, MsgUnchoke, MsgInterested, MsgNotInterested, MsgKeepAlive:
 		if len(p) != 0 {
-			return nil, fmt.Errorf("wire: %s with %d-byte payload", m.Type, len(p))
+			return ErrPayloadSize
 		}
 	case MsgHave:
 		if len(p) != 4 {
-			return nil, fmt.Errorf("wire: have with %d-byte payload", len(p))
+			return ErrPayloadSize
 		}
 		m.Index = binary.BigEndian.Uint32(p)
 	case MsgRequest, MsgCancel:
 		if len(p) != 12 {
-			return nil, fmt.Errorf("wire: %s with %d-byte payload", m.Type, len(p))
+			return ErrPayloadSize
 		}
 		m.Index = binary.BigEndian.Uint32(p[0:4])
 		m.Offset = binary.BigEndian.Uint32(p[4:8])
 		m.Length = binary.BigEndian.Uint32(p[8:12])
 		if m.Length == 0 || m.Length > MaxBlockLen {
-			return nil, fmt.Errorf("wire: %s length %d out of range", m.Type, m.Length)
+			return ErrRequestLength
 		}
 	case MsgPiece:
 		if len(p) <= 8 || len(p) > 8+MaxBlockLen {
-			return nil, fmt.Errorf("wire: piece with %d-byte payload", len(p))
+			return ErrPayloadSize
 		}
 		m.Index = binary.BigEndian.Uint32(p[0:4])
 		m.Offset = binary.BigEndian.Uint32(p[4:8])
 		m.Data = p[8:]
 	case MsgBitfield:
 		if len(p) == 0 || len(p) > MaxBitfieldLen {
-			return nil, fmt.Errorf("wire: bitfield with %d-byte payload", len(p))
+			return ErrPayloadSize
 		}
 		m.Bitfield = p
 	default:
-		return nil, fmt.Errorf("wire: unknown message type %d", body[0])
+		return ErrUnknownType
+	}
+	return nil
+}
+
+// Reader decodes frames from a stream into caller-supplied Messages,
+// reusing one internal buffer: after warm-up, ReadInto performs zero
+// heap allocations per message. Not safe for concurrent use.
+type Reader struct {
+	r    io.Reader
+	len4 [4]byte
+	buf  []byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadInto reads one message into m. m's Data and Bitfield alias the
+// Reader's internal buffer and are valid only until the next ReadInto;
+// callers that retain payload bytes must copy them first. I/O errors
+// are returned unwrapped so io.EOF checks keep working.
+//
+//lint:hotpath the per-message read: the benchmarks assert 0 allocs/op
+func (rd *Reader) ReadInto(m *Message) error {
+	if _, err := io.ReadFull(rd.r, rd.len4[:]); err != nil {
+		return err
+	}
+	length := binary.BigEndian.Uint32(rd.len4[:])
+	if length == 0 || length > 9+MaxBlockLen && length > 1+MaxBitfieldLen {
+		return ErrFrameLength
+	}
+	if uint32(cap(rd.buf)) < length {
+		//lint:ignore allocfree amortized: the buffer grows to the stream's high-water frame size once, then is reused
+		rd.buf = make([]byte, length)
+	}
+	body := rd.buf[:length]
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return err
+	}
+	return m.Decode(body)
+}
+
+// Writer encodes messages to a stream through one reusable buffer:
+// after warm-up, WriteMsg performs zero heap allocations per message.
+// Not safe for concurrent use; callers serialize (the peer connection
+// holds its write mutex around WriteMsg).
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteMsg encodes m and writes the frame to the underlying stream.
+// I/O errors are returned unwrapped.
+//
+//lint:hotpath the per-message write: the benchmarks assert 0 allocs/op
+func (wr *Writer) WriteMsg(m *Message) error {
+	n, err := m.EncodedLen()
+	if err != nil {
+		return err
+	}
+	if cap(wr.buf) < n {
+		//lint:ignore allocfree amortized: the buffer grows to the connection's high-water frame size once, then is reused
+		wr.buf = make([]byte, n)
+	}
+	buf := wr.buf[:n]
+	if _, err := m.Encode(buf); err != nil {
+		return err
+	}
+	if _, err := wr.w.Write(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Write encodes m to w. It allocates per call; senders on a hot path
+// hold a Writer instead.
+func Write(w io.Writer, m *Message) error {
+	wr := Writer{w: w}
+	if err := wr.WriteMsg(m); err != nil {
+		return fmt.Errorf("wire: write %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Read decodes one message from r, enforcing the payload limits. The
+// returned Message owns its payload bytes. It allocates per call;
+// receivers on a hot path hold a Reader instead.
+func Read(r io.Reader) (*Message, error) {
+	rd := Reader{r: r}
+	m := &Message{}
+	if err := rd.ReadInto(m); err != nil {
+		return nil, fmt.Errorf("wire: read: %w", err)
 	}
 	return m, nil
 }
