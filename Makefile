@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench-alloc fuzz-smoke bench-json trace-smoke fault-smoke metrics-smoke
+.PHONY: all build test race vet lint bench-alloc bench-swarm fuzz-smoke bench-json trace-smoke fault-smoke metrics-smoke
 
 all: build vet lint test
 
@@ -30,11 +30,19 @@ lint:
 # static contract. Not run under -race (instrumentation allocates).
 bench-alloc:
 	$(GO) test -run='^$$' -bench='^BenchmarkHotpath' -benchmem \
-		./internal/wire ./internal/trace ./internal/sim > bench-alloc.txt || \
+		./internal/wire ./internal/trace ./internal/sim ./internal/netem > bench-alloc.txt || \
 		{ cat bench-alloc.txt; exit 1; }
 	@cat bench-alloc.txt
 	@awk '/^BenchmarkHotpath/ { seen++; if ($$(NF-1) != 0) { print "bench-alloc: " $$1 " allocates " $$(NF-1) " allocs/op, want 0"; bad = 1 } } \
 		END { if (!seen) { print "bench-alloc: no hotpath benchmarks ran"; exit 1 }; if (bad) exit 1; print "bench-alloc: " seen " hotpath benchmarks at 0 allocs/op" }' bench-alloc.txt
+
+# bench-swarm: regenerate the swarm-scale emulation perf artifact —
+# 10k-peer incremental run vs the forced-full recompute baseline on the
+# identical (digest-checked) workload. One benchmark pass first as a
+# smoke check that the measured configuration still runs.
+bench-swarm:
+	$(GO) test -run='^$$' -bench='^BenchmarkSwarmEmulation10k$$' -benchtime=1x .
+	$(GO) run ./cmd/benchswarm -out BENCH_7.json
 
 # bench-json: quick-scale figure regeneration as a machine-readable
 # artifact (the bench trajectory's stable format), plus one pass of the
@@ -90,3 +98,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/container
 	$(GO) test -run='^$$' -fuzz='^FuzzReadManifest$$' -fuzztime=$(FUZZTIME) ./internal/container
 	$(GO) test -run='^$$' -fuzz='^FuzzReadJSON$$' -fuzztime=$(FUZZTIME) ./internal/topology
+	$(GO) test -run='^$$' -fuzz='^FuzzReallocate$$' -fuzztime=$(FUZZTIME) ./internal/netem

@@ -21,6 +21,7 @@ import (
 	"p2psplice/internal/netem"
 	"p2psplice/internal/simpeer"
 	"p2psplice/internal/splicer"
+	"p2psplice/internal/swarmbench"
 	"p2psplice/internal/wire"
 )
 
@@ -354,6 +355,32 @@ func BenchmarkSwarmEmulationPaperScale(b *testing.B) {
 		if _, err := simpeer.RunSwarm(cfg, segs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSwarmEmulation10k runs one 10k-peer locality-clustered swarm
+// per iteration on the incremental reallocator — the swarm-scale
+// configuration behind the BENCH_7.json artifact (`make bench-swarm`
+// re-measures it against the forced-full baseline). Reported metrics are
+// per-iteration throughput, so they are comparable to the artifact's.
+func BenchmarkSwarmEmulation10k(b *testing.B) {
+	var events, reallocs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := swarmbench.Run(swarmbench.Config{Peers: 10_000, Shards: 1, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Truncated {
+			b.Fatal("10k swarm truncated without an event budget")
+		}
+		events += res.Events
+		reallocs += res.Stats.Reallocs
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N)*10_000/secs, "peers/sec")
+		b.ReportMetric(float64(events)/secs, "events/sec")
+		b.ReportMetric(float64(reallocs)/secs, "reallocs/sec")
 	}
 }
 

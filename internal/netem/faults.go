@@ -19,7 +19,7 @@ func (n *Network) SetLinkDown(id NodeID, down bool) error {
 		return nil
 	}
 	n.nodes[id].offline = down
-	n.reallocate()
+	n.reallocateOn(n.nodes[id].up, n.nodes[id].down)
 	// Observer contract: emit after the state change and reallocation so
 	// rates are current. Only active flows touching the node are
 	// affected; a flow whose other endpoint is also down stays frozen on

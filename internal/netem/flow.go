@@ -35,7 +35,26 @@ type Flow struct {
 	started    time.Duration // creation time (setup start)
 	activated  time.Duration // first payload byte
 	lastUpdate time.Duration
-	onLinks    bool // joined the link flow counts (reached flowActive)
+	onLinks    bool // joined the link flow lists (reached flowActive)
+
+	// Progress is anchored at the last rate change: remaining(t) is
+	// recomputed as anchorRemaining - rate*(t-anchorAt) rather than
+	// accumulated, so accrual is exact no matter how often (or rarely) a
+	// flow is advanced — the property that lets the incremental
+	// reallocator skip clean components entirely.
+	anchorAt        time.Duration
+	anchorRemaining float64
+
+	// Link adjacency (valid while onLinks): the two access links the flow
+	// traverses and its positions in their swap-removed flow lists.
+	lup, ldown     *link
+	upIdx, downIdx int
+	flowsIdx       int // position in net.flows (swap-removed)
+
+	// Transient allocator state, valid only inside a reallocation pass.
+	mark        uint64 // collection generation that last visited this flow
+	fixMark     uint64 // generation whose fill fixed this flow's rate
+	pendingRate float64
 
 	frozen      bool // in an RTO freeze; no bytes move
 	completion  *sim.Timer
@@ -105,6 +124,7 @@ func (n *Network) StartTransfer(src, dst NodeID, size int64, opts TransferOption
 	f.rampCap = float64(n.cfg.InitCwndSegments*n.cfg.MSS) / rtt.Seconds()
 
 	n.flowSeq++
+	f.flowsIdx = len(n.flows)
 	n.flows = append(n.flows, f)
 
 	setupDelay := time.Duration(0)
@@ -178,9 +198,10 @@ func (f *Flow) Cancel() {
 	f.rampTimer.Cancel()
 	f.hazardTimer.Cancel()
 	f.freezeTimer.Cancel()
+	lup, ldown := f.lup, f.ldown
 	f.net.detach(f)
 	if wasActive {
-		f.net.reallocate()
+		f.net.reallocateOn(lup, ldown)
 	}
 	f.net.emitFlow(f, FlowEventCancel)
 }
@@ -193,12 +214,18 @@ func (f *Flow) activate() {
 	f.state = flowActive
 	f.activated = f.net.eng.Now()
 	f.lastUpdate = f.activated
+	f.anchorAt = f.activated
+	f.anchorRemaining = f.remaining
 	f.onLinks = true
-	f.net.nodes[f.src].up.nFlows++
-	f.net.nodes[f.dst].down.nFlows++
+	f.lup = f.net.nodes[f.src].up
+	f.ldown = f.net.nodes[f.dst].down
+	f.upIdx = len(f.lup.flows)
+	f.lup.flows = append(f.lup.flows, f)
+	f.downIdx = len(f.ldown.flows)
+	f.ldown.flows = append(f.ldown.flows, f)
 	f.scheduleRamp()
 	f.scheduleHazard()
-	f.net.reallocate()
+	f.net.reallocateOn(f.lup, f.ldown)
 	f.net.emitFlow(f, FlowEventActivate)
 }
 
@@ -217,8 +244,8 @@ func (f *Flow) scheduleHazard() {
 		if f.frozen {
 			return
 		}
-		crowd := f.net.nodes[f.src].up.nFlows
-		if d := f.net.nodes[f.dst].down.nFlows; d > crowd {
+		crowd := len(f.lup.flows)
+		if d := len(f.ldown.flows); d > crowd {
 			crowd = d
 		}
 		excess := crowd - f.net.cfg.ConcurrencyFreeFlows
@@ -243,10 +270,10 @@ func (f *Flow) scheduleHazard() {
 				return
 			}
 			f.frozen = false
-			f.net.reallocate()
+			f.net.reallocateOn(f.lup, f.ldown)
 			f.net.emitFlow(f, FlowEventUnfreeze)
 		})
-		f.net.reallocate()
+		f.net.reallocateOn(f.lup, f.ldown)
 		f.net.emitFlow(f, FlowEventFreeze)
 	})
 }
@@ -262,7 +289,7 @@ func (f *Flow) scheduleRamp() {
 		}
 		f.rampCap *= 2
 		f.scheduleRamp()
-		f.net.reallocate()
+		f.net.reallocateOn(f.lup, f.ldown)
 		f.net.emitFlow(f, FlowEventRamp)
 	})
 }
@@ -271,6 +298,8 @@ func (f *Flow) scheduleRamp() {
 // RTO freezes, and administratively-downed links). A zero cap means the
 // allocator fixes the flow at rate 0 and cancels its completion timer;
 // a later reallocation (link up, freeze end) revives it.
+//
+//lint:hotpath read in the progressive-filling inner loop, twice per flow per round
 func (f *Flow) capLimit() float64 {
 	if f.frozen || f.net.nodes[f.src].offline || f.net.nodes[f.dst].offline {
 		return 0
@@ -295,35 +324,60 @@ func (f *Flow) complete() {
 	f.rampTimer.Cancel()
 	f.hazardTimer.Cancel()
 	f.freezeTimer.Cancel()
+	lup, ldown := f.lup, f.ldown
 	f.net.detach(f)
-	f.net.reallocate()
+	f.net.reallocateOn(lup, ldown)
 	f.net.emitFlow(f, FlowEventComplete)
 	if f.onComplete != nil {
 		f.onComplete(f)
 	}
 }
 
-// detach removes the flow from its links and the active list. Only flows
-// that reached flowActive ever joined the links.
+// detach removes the flow from its links and the live list, swapping the
+// last element into its slot so removal is O(1) at swarm scale. Only
+// flows that reached flowActive ever joined the links.
 func (n *Network) detach(f *Flow) {
 	if f.onLinks {
-		n.nodes[f.src].up.nFlows--
-		n.nodes[f.dst].down.nFlows--
+		f.lup.removeFlow(f.upIdx)
+		f.ldown.removeFlow(f.downIdx)
 		f.onLinks = false
 	}
-	for i, g := range n.flows {
-		if g == f {
-			n.flows = append(n.flows[:i], n.flows[i+1:]...)
-			break
+	last := len(n.flows) - 1
+	moved := n.flows[last]
+	n.flows[f.flowsIdx] = moved
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	if f.flowsIdx < last {
+		moved.flowsIdx = f.flowsIdx
+	}
+}
+
+// removeFlow swap-removes the flow at index i from the link's flow list
+// and fixes up the moved flow's stored position.
+func (l *link) removeFlow(i int) {
+	last := len(l.flows) - 1
+	moved := l.flows[last]
+	l.flows[i] = moved
+	l.flows[last] = nil
+	l.flows = l.flows[:last]
+	if i < last {
+		if moved.lup == l {
+			moved.upIdx = i
+		} else {
+			moved.downIdx = i
 		}
 	}
 }
 
-// advance accrues progress for f up to the current instant.
+// advance accrues progress for f up to the current instant. Progress is
+// recomputed from the last rate-change anchor rather than accumulated,
+// so the result is identical no matter how many intermediate events
+// called advance — the incremental reallocator relies on this to leave
+// flows in clean components untouched.
 func (n *Network) advance(f *Flow) {
 	now := n.eng.Now()
-	if f.state == flowActive && now > f.lastUpdate {
-		f.remaining -= f.rate * (now - f.lastUpdate).Seconds()
+	if f.state == flowActive && now > f.anchorAt {
+		f.remaining = f.anchorRemaining - f.rate*(now-f.anchorAt).Seconds()
 		if f.remaining < 0 {
 			f.remaining = 0
 		}

@@ -168,9 +168,20 @@ type Network struct {
 	eng     *sim.Engine
 	cfg     Config
 	nodes   []*node
-	flows   []*Flow // active flows in creation order (deterministic iteration)
+	flows   []*Flow // live flows; swap-removed on detach (order not load-bearing)
 	flowSeq int     // next flow ID
 	onFlow  func(FlowEvent)
+
+	// Incremental-reallocation state: a collection generation counter
+	// (stale marks never compare equal, so resets are O(1)) and reusable
+	// region scratch that grows once to the largest dirty region.
+	allocGen    uint64
+	regionLinks []*link
+	regionFlows []*Flow
+	linkQueue   []*link
+	compBounds  []compBound
+	stats       AllocStats
+	forceFull   bool // reallocate via the full per-event oracle instead
 }
 
 type node struct {
@@ -182,8 +193,14 @@ type node struct {
 }
 
 type link struct {
+	ord      int     // creation order: node ID doubled, uplink before downlink
 	capacity float64 // bytes per second
-	nFlows   int     // active flows traversing this link
+	flows    []*Flow // active flows traversing this link (swap-removed)
+
+	// Transient allocator state, valid only inside a reallocation pass.
+	mark      uint64  // collection generation that last visited this link
+	remaining float64 // capacity left during progressive filling
+	unfixed   int     // flows not yet fixed during progressive filling
 }
 
 // New creates an empty network on eng.
@@ -203,8 +220,8 @@ func (n *Network) AddNode(nc NodeConfig) (NodeID, error) {
 	n.nodes = append(n.nodes, &node{
 		id:   id,
 		cfg:  nc,
-		up:   &link{capacity: float64(nc.UplinkBytesPerSec)},
-		down: &link{capacity: float64(nc.DownlinkBytesPerSec)},
+		up:   &link{ord: 2 * int(id), capacity: float64(nc.UplinkBytesPerSec)},
+		down: &link{ord: 2*int(id) + 1, capacity: float64(nc.DownlinkBytesPerSec)},
 	})
 	return id, nil
 }
@@ -261,7 +278,7 @@ func (n *Network) SetUplink(id NodeID, bytesPerSec int64) error {
 	}
 	n.nodes[id].cfg.UplinkBytesPerSec = bytesPerSec
 	n.nodes[id].up.capacity = float64(bytesPerSec)
-	n.reallocate()
+	n.reallocateOn(n.nodes[id].up, nil)
 	return nil
 }
 
@@ -275,7 +292,7 @@ func (n *Network) SetDownlink(id NodeID, bytesPerSec int64) error {
 	}
 	n.nodes[id].cfg.DownlinkBytesPerSec = bytesPerSec
 	n.nodes[id].down.capacity = float64(bytesPerSec)
-	n.reallocate()
+	n.reallocateOn(n.nodes[id].down, nil)
 	return nil
 }
 
