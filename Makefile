@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench-alloc bench-swarm fuzz-smoke bench-json trace-smoke fault-smoke metrics-smoke
+.PHONY: all build test race vet lint bench-alloc bench-swarm fuzz-smoke bench-json trace-smoke fault-smoke burst-smoke metrics-smoke
 
 all: build vet lint test
 
@@ -42,7 +42,7 @@ bench-alloc:
 # smoke check that the measured configuration still runs.
 bench-swarm:
 	$(GO) test -run='^$$' -bench='^BenchmarkSwarmEmulation10k$$' -benchtime=1x .
-	$(GO) run ./cmd/benchswarm -out BENCH_7.json
+	$(GO) run ./cmd/benchswarm -out BENCH_8.json
 
 # bench-json: quick-scale figure regeneration as a machine-readable
 # artifact (the bench trajectory's stable format), plus one pass of the
@@ -89,6 +89,26 @@ fault-smoke:
 	grep -v '"elapsed_ms"\|"workers"' fault-smoke-c.json > fault-smoke-cw.stripped
 	cmp fault-smoke-aw.stripped fault-smoke-cw.stripped
 	@echo "fault-smoke: churn figure bit-identical across runs and workers"
+
+# burst-smoke: the correlated-impairment figure (Gilbert–Elliott burst
+# loss + segment corruption) must be bit-reproducible — the GE chains
+# draw sojourns from each run's own engine RNG and the corruption draws
+# are pure hashes, so nothing may vary across runs or worker counts.
+# Then regenerate it with per-cell traces and require 100% stall
+# attribution: every stall under the impairment plans carries a cause.
+burst-smoke:
+	$(GO) run ./cmd/experiment -quick -figure burst -json -workers 1 > burst-smoke-a.json
+	$(GO) run ./cmd/experiment -quick -figure burst -json -workers 1 > burst-smoke-b.json
+	grep -v '"elapsed_ms"' burst-smoke-a.json > burst-smoke-a.stripped
+	grep -v '"elapsed_ms"' burst-smoke-b.json > burst-smoke-b.stripped
+	cmp burst-smoke-a.stripped burst-smoke-b.stripped
+	$(GO) run ./cmd/experiment -quick -figure burst -json -workers 4 > burst-smoke-c.json
+	grep -v '"elapsed_ms"\|"workers"' burst-smoke-a.json > burst-smoke-aw.stripped
+	grep -v '"elapsed_ms"\|"workers"' burst-smoke-c.json > burst-smoke-cw.stripped
+	cmp burst-smoke-aw.stripped burst-smoke-cw.stripped
+	$(GO) run ./cmd/experiment -quick -figure burst -trace burst-trace-quick > /dev/null
+	$(GO) run ./cmd/splicetrace report burst-trace-quick -require-attributed > burst-trace-report.txt
+	@echo "burst-smoke: burst figure bit-identical across runs and workers, stalls fully attributed"
 
 # Short fuzz pass over every fuzz target; go's fuzzer accepts one -fuzz
 # pattern per package invocation, so targets run sequentially.

@@ -1,5 +1,5 @@
 // Command benchswarm produces the swarm-scale emulation perf artifact
-// (BENCH_7.json): it times a 10k-peer locality-clustered swarm on the
+// (BENCH_8.json): it times a 10k-peer locality-clustered swarm on the
 // incremental reallocator, times the forced-full recompute baseline on
 // the identical workload (event-budget truncated, since a full 10k-peer
 // drain under per-event full recomputes is precisely the cost the
@@ -13,7 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"p2psplice/internal/swarmbench"
@@ -115,7 +117,7 @@ func run() error {
 	seed := flag.Int64("seed", 7, "workload seed")
 	reps := flag.Int("reps", 3, "timed repetitions (best wall time wins)")
 	baselineEvents := flag.Int("baseline-events", 50_000, "event budget for the full-recompute baseline")
-	out := flag.String("out", "BENCH_7.json", "output artifact path")
+	out := flag.String("out", "BENCH_8.json", "output artifact path")
 	flag.Parse()
 
 	// Shards=1: one swarm-wide network, so the full baseline pays the
@@ -147,7 +149,7 @@ func run() error {
 
 	rep := benchReport{
 		Schema: "p2psplice/bench-swarm/v1",
-		Bench:  "BENCH_7",
+		Bench:  strings.TrimSuffix(filepath.Base(*out), ".json"),
 		Config: benchConfig{
 			Peers: *peers, Shards: 1, ClusterSize: 40, SegmentsPerPeer: 4,
 			SegmentBytes: 256 << 10, PoolSize: 8, Seed: *seed,

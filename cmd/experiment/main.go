@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiment [-figure all|2|3|4|5|6|table|churn] [-quick] [-runs N] [-leechers N]
-//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR] [-churn]
+//	experiment [-figure all|2|3|4|5|6|table|churn|burst] [-quick] [-runs N] [-leechers N]
+//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR] [-churn] [-burst]
 //	           [-ablation churn|estimator|relay|rarest|cross|varbw]
 package main
 
@@ -41,6 +41,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable figure results as JSON on stdout instead of text tables")
 		traceDir = flag.String("trace", "", "write per-cell trace artifacts (.jsonl, .trace.json, .timeline.json) into this directory; figure values are unchanged")
 		churn    = flag.Bool("churn", false, "also run the churn figure (seeded fault injection); implied by -figure churn")
+		burst    = flag.Bool("burst", false, "also run the burst figure (correlated loss + corruption); implied by -figure burst")
 	)
 	flag.Parse()
 
@@ -101,10 +102,14 @@ func main() {
 		"6":     {"Figure 6 (extension)", p.Fig6AdaptiveSplicing},
 		"table": {"Splicing table", func([]int64) (*experiment.FigureResult, error) { return p.SpliceOverheadTable() }},
 		"churn": {"Churn figure (extension)", func([]int64) (*experiment.FigureResult, error) { return p.FigChurn(nil) }},
+		"burst": {"Burst figure (extension)", func([]int64) (*experiment.FigureResult, error) { return p.FigBurst(nil) }},
 	}
 	order := []string{"2", "3", "4", "5", "6", "table"}
 	if *churn {
 		order = append(order, "churn")
+	}
+	if *burst {
+		order = append(order, "burst")
 	}
 	if *figure != "all" {
 		if _, ok := gens[*figure]; !ok {

@@ -1,0 +1,37 @@
+package container
+
+// FlipBits deterministically flips nbits distinct bit positions of buf in
+// place, keyed by seed. It models transport-level payload corruption for
+// tests and fault injection: the damage is reproducible (same seed, same
+// buffer length, same bits), and any single flipped bit is enough to make
+// Manifest.VerifySegment reject the blob, since the manifest checksums
+// cover every payload byte. Buffers shorter than one byte are returned
+// unchanged.
+func FlipBits(buf []byte, seed int64, nbits int) {
+	total := len(buf) * 8
+	if total == 0 || nbits <= 0 {
+		return
+	}
+	if nbits > total {
+		nbits = total
+	}
+	// splitmix64 stream keyed by seed; rejection-free modulo bias is
+	// irrelevant here (corruption needs no uniformity guarantees), but
+	// distinctness matters: flipping the same bit twice undoes it.
+	x := uint64(seed) ^ 0x9E3779B97F4A7C15
+	flipped := make(map[int]bool, nbits)
+	for done := 0; done < nbits; {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		pos := int(z % uint64(total))
+		if flipped[pos] {
+			continue
+		}
+		flipped[pos] = true
+		buf[pos/8] ^= 1 << (pos % 8)
+		done++
+	}
+}

@@ -1,0 +1,63 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FlipBits is deterministic, flips exactly the requested number of bits,
+// and any flip makes the manifest reject the blob.
+func TestFlipBitsCorruptionIsDetected(t *testing.T) {
+	v, segs := testSegments(t)
+	info := ClipInfo{Duration: v.Duration(), BytesPerSecond: v.Config.BytesPerSecond, Seed: v.Seed}
+	m, blobs, err := BuildManifest(info, "4s", segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nbits := 1; nbits <= 9; nbits += 4 {
+		a := clone(blobs[0])
+		b := clone(blobs[0])
+		FlipBits(a, 42, nbits)
+		FlipBits(b, 42, nbits)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("FlipBits(seed=42, nbits=%d) is not deterministic", nbits)
+		}
+		diff := 0
+		for i := range a {
+			for bit := 0; bit < 8; bit++ {
+				if (a[i]^blobs[0][i])&(1<<bit) != 0 {
+					diff++
+				}
+			}
+		}
+		if diff != nbits {
+			t.Errorf("nbits=%d: %d bits actually differ", nbits, diff)
+		}
+		if err := m.VerifySegment(0, a); err == nil {
+			t.Errorf("nbits=%d: manifest verified a corrupted blob", nbits)
+		}
+	}
+	// Different seeds damage different bits (the draws are keyed).
+	a := clone(blobs[0])
+	b := clone(blobs[0])
+	FlipBits(a, 1, 8)
+	FlipBits(b, 2, 8)
+	if bytes.Equal(a, b) {
+		t.Error("seeds 1 and 2 flipped identical bit sets")
+	}
+	// Degenerate inputs are no-ops.
+	FlipBits(nil, 1, 4)
+	empty := []byte{}
+	FlipBits(empty, 1, 4)
+	pristine := clone(blobs[0])
+	FlipBits(pristine, 1, 0)
+	if !bytes.Equal(pristine, blobs[0]) {
+		t.Error("nbits=0 modified the buffer")
+	}
+	// nbits beyond the buffer saturates instead of looping forever.
+	tiny := []byte{0x00}
+	FlipBits(tiny, 7, 1000)
+	if tiny[0] != 0xFF {
+		t.Errorf("flipping all 8 bits of 0x00 = %#x, want 0xFF", tiny[0])
+	}
+}

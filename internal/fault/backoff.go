@@ -53,6 +53,22 @@ func (b Backoff) Delay(seed int64, node, attempt int) time.Duration {
 	return d
 }
 
+// CorruptDraw returns the uniform draw in [0, 1) deciding whether
+// download attempt number attempt of segment seg on node fails
+// verification inside a corruption window. The draw is a pure
+// splitmix64 hash of (seed, node, seg, attempt) — never an engine RNG —
+// so corruption perturbs no other random draw, is identical across
+// -workers values, and each retry of the same segment gets a fresh
+// draw (a fixed per-segment draw would livelock at high percentages).
+// A segment is corrupted when CorruptDraw(...)*100 < Percent.
+func CorruptDraw(seed int64, node, seg, attempt int) float64 {
+	h := splitmix64(uint64(seed) ^
+		uint64(node)*0x9e3779b97f4a7c15 ^
+		uint64(seg)*0xbf58476d1ce4e5b9 ^
+		uint64(attempt)*0x94d049bb133111eb)
+	return float64(h>>11) / (1 << 53)
+}
+
 // splitmix64 is the finalizer from Vigna's SplitMix64: a cheap,
 // well-mixed pure hash — exactly what deterministic jitter needs.
 func splitmix64(x uint64) uint64 {

@@ -42,6 +42,18 @@ const (
 	KindTrackerDown
 	// KindTrackerUp restores the tracker and drains deferred joins.
 	KindTrackerUp
+	// KindBurstLoss installs a Gilbert–Elliott burst-loss model (the
+	// Loss field) on a node's access link, shadowing its baseline
+	// i.i.d. loss rate; KindBurstLossEnd removes it.
+	KindBurstLoss
+	// KindBurstLossEnd closes a burst-loss window.
+	KindBurstLossEnd
+	// KindCorrupt opens a payload-corruption window on a node: each
+	// downloaded segment fails checksum verification with probability
+	// Percent/100 per attempt and must be fetched again.
+	KindCorrupt
+	// KindCorruptEnd closes a corruption window.
+	KindCorruptEnd
 )
 
 // String returns the canonical wire/trace name of the kind.
@@ -61,19 +73,42 @@ func (k Kind) String() string {
 		return "tracker_down"
 	case KindTrackerUp:
 		return "tracker_up"
+	case KindBurstLoss:
+		return "burst_loss_start"
+	case KindBurstLossEnd:
+		return "burst_loss_end"
+	case KindCorrupt:
+		return "corrupt_start"
+	case KindCorruptEnd:
+		return "corrupt_end"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
+// GEModel parameterizes a Gilbert–Elliott burst-loss window. It mirrors
+// netem.GEParams without importing it (fault stays stdlib-only; the
+// consumers compile the two together): PGood and PBad are the
+// good/bad-state packet-loss rates in [0, 1), P13 and P31 the
+// good->bad and bad->good transition hazards in events per second.
+type GEModel struct {
+	PGood float64
+	PBad  float64
+	P13   float64
+	P31   float64
+}
+
 // Event is one scheduled fault. Node addresses the swarm's peers by
 // index (0 = seeder, 1..N = leechers) and is ignored for tracker
-// events. BytesPerSec is used only by KindLinkRate.
+// events. BytesPerSec is used only by KindLinkRate, Loss only by
+// KindBurstLoss, and Percent only by KindCorrupt.
 type Event struct {
 	At          time.Duration
 	Kind        Kind
 	Node        int
 	BytesPerSec int64
+	Loss        GEModel
+	Percent     float64
 }
 
 // Plan is a schedule of fault events. The zero value is the empty plan.
@@ -104,6 +139,8 @@ func (p Plan) Sorted() Plan {
 func (p Plan) Validate(maxNode int) error {
 	crashed := map[int]bool{}
 	linkDown := map[int]bool{}
+	burst := map[int]bool{}
+	corrupt := map[int]bool{}
 	trackerDown := false
 	for i, ev := range p.Sorted().Events {
 		if ev.At < 0 {
@@ -151,6 +188,36 @@ func (p Plan) Validate(maxNode int) error {
 			if ev.BytesPerSec <= 0 {
 				return fmt.Errorf("fault: link_rate node %d at %v with non-positive rate %d", ev.Node, ev.At, ev.BytesPerSec)
 			}
+		case KindBurstLoss:
+			if burst[ev.Node] {
+				return fmt.Errorf("fault: burst_loss node %d at %v while a burst window is already open", ev.Node, ev.At)
+			}
+			m := ev.Loss
+			if m.PGood < 0 || m.PGood >= 1 || m.PBad < 0 || m.PBad >= 1 {
+				return fmt.Errorf("fault: burst_loss node %d at %v with loss rates outside [0, 1): pg=%v pb=%v", ev.Node, ev.At, m.PGood, m.PBad)
+			}
+			if m.P13 <= 0 || m.P31 <= 0 {
+				return fmt.Errorf("fault: burst_loss node %d at %v with non-positive transition rates p13=%v p31=%v", ev.Node, ev.At, m.P13, m.P31)
+			}
+			burst[ev.Node] = true
+		case KindBurstLossEnd:
+			if !burst[ev.Node] {
+				return fmt.Errorf("fault: burst_loss_end node %d at %v without an open burst window", ev.Node, ev.At)
+			}
+			burst[ev.Node] = false
+		case KindCorrupt:
+			if corrupt[ev.Node] {
+				return fmt.Errorf("fault: corrupt node %d at %v while a corruption window is already open", ev.Node, ev.At)
+			}
+			if !(ev.Percent > 0 && ev.Percent <= 100) {
+				return fmt.Errorf("fault: corrupt node %d at %v with percent %v outside (0, 100]", ev.Node, ev.At, ev.Percent)
+			}
+			corrupt[ev.Node] = true
+		case KindCorruptEnd:
+			if !corrupt[ev.Node] {
+				return fmt.Errorf("fault: corrupt_end node %d at %v without an open corruption window", ev.Node, ev.At)
+			}
+			corrupt[ev.Node] = false
 		default:
 			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(ev.Kind))
 		}
@@ -163,6 +230,16 @@ func (p Plan) Validate(maxNode int) error {
 	for node, down := range linkDown {
 		if down {
 			return fmt.Errorf("fault: node %d link goes down but never comes up (unclosed window)", node)
+		}
+	}
+	for node, open := range burst {
+		if open {
+			return fmt.Errorf("fault: node %d burst-loss window never closes", node)
+		}
+	}
+	for node, open := range corrupt {
+		if open {
+			return fmt.Errorf("fault: node %d corruption window never closes", node)
 		}
 	}
 	if trackerDown {
@@ -247,5 +324,25 @@ func RateDip(node int, start, dur time.Duration, dipTo, restore int64) Plan {
 	return Plan{Events: []Event{
 		{At: start, Kind: KindLinkRate, Node: node, BytesPerSec: dipTo},
 		{At: start + dur, Kind: KindLinkRate, Node: node, BytesPerSec: restore},
+	}}
+}
+
+// BurstLoss opens a Gilbert–Elliott burst-loss window on a node for
+// [start, start+dur). While open, the model's two-state chain shadows
+// the node's baseline i.i.d. loss rate.
+func BurstLoss(node int, start, dur time.Duration, m GEModel) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindBurstLoss, Node: node, Loss: m},
+		{At: start + dur, Kind: KindBurstLossEnd, Node: node},
+	}}
+}
+
+// Corruption opens a payload-corruption window on a node for
+// [start, start+dur): each segment it downloads fails verification
+// with probability percent/100 per attempt and is fetched again.
+func Corruption(node int, start, dur time.Duration, percent float64) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindCorrupt, Node: node, Percent: percent},
+		{At: start + dur, Kind: KindCorruptEnd, Node: node},
 	}}
 }

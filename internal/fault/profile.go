@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace-driven bandwidth profiles: a recorded (or synthesized) rate
+// trace compiles to a piecewise-constant KindLinkRate schedule, so the
+// time-varying-bandwidth failure modes that pollute the B estimate
+// Eq. 1 consumes can be replayed deterministically against any node.
+
+// RateSample is one point of a bandwidth trace: from At onward the
+// node's access links run at BytesPerSec.
+type RateSample struct {
+	At          time.Duration
+	BytesPerSec int64
+}
+
+// BandwidthProfile compiles a bandwidth trace into KindLinkRate events
+// for one node. Samples must be non-negative in time, strictly
+// increasing, and carry positive rates; a malformed trace returns an
+// error here rather than failing Plan.Validate later with a less
+// specific message.
+func BandwidthProfile(node int, samples []RateSample) (Plan, error) {
+	var p Plan
+	for i, s := range samples {
+		if s.At < 0 {
+			return Plan{}, fmt.Errorf("fault: bandwidth sample %d at negative time %v", i, s.At)
+		}
+		if i > 0 && s.At <= samples[i-1].At {
+			return Plan{}, fmt.Errorf("fault: bandwidth sample times must be strictly increasing, got %v after %v",
+				s.At, samples[i-1].At)
+		}
+		if s.BytesPerSec <= 0 {
+			return Plan{}, fmt.Errorf("fault: bandwidth sample %d with non-positive rate %d", i, s.BytesPerSec)
+		}
+		p.Events = append(p.Events, Event{At: s.At, Kind: KindLinkRate, Node: node, BytesPerSec: s.BytesPerSec})
+	}
+	return p, nil
+}
+
+// ParseBandwidthTrace reads a textual bandwidth trace: one sample per
+// line as "<seconds> <bytes_per_sec>", with blank lines and '#'
+// comments ignored. Seconds may be fractional. The samples must
+// satisfy the same ordering rules BandwidthProfile enforces.
+func ParseBandwidthTrace(r io.Reader) ([]RateSample, error) {
+	var samples []RateSample
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fault: trace line %d: want \"<seconds> <bytes_per_sec>\", got %q", lineNo, line)
+		}
+		secs, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: trace line %d: bad time %q: %v", lineNo, fields[0], err)
+		}
+		rate, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: trace line %d: bad rate %q: %v", lineNo, fields[1], err)
+		}
+		at := time.Duration(secs * float64(time.Second))
+		if len(samples) > 0 && at <= samples[len(samples)-1].At {
+			return nil, fmt.Errorf("fault: trace line %d: sample times must be strictly increasing", lineNo)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("fault: trace line %d: negative time %v", lineNo, at)
+		}
+		if rate <= 0 {
+			return nil, fmt.Errorf("fault: trace line %d: non-positive rate %d", lineNo, rate)
+		}
+		samples = append(samples, RateSample{At: at, BytesPerSec: rate})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fault: reading trace: %w", err)
+	}
+	return samples, nil
+}

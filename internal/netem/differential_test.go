@@ -76,7 +76,7 @@ func differentialScript(data []byte) error {
 	for pos < len(data) {
 		op := decodeByte(data, &pos)
 		var err error
-		switch op % 8 {
+		switch op % 9 {
 		case 0, 1, 2: // weight flow starts highest: they grow the graph
 			if starts >= diffMaxStarts {
 				break
@@ -124,14 +124,36 @@ func differentialScript(data []byte) error {
 			id2 := NodeID(int(decodeByte(data, &pos)) % nNodes)
 			_ = p.netA.ScheduleBandwidth(id2, dip)
 			_ = p.netB.ScheduleBandwidth(id2, dip)
+		case 8: // Gilbert–Elliott loss model install/clear (bursty loss)
+			id := NodeID(int(decodeByte(data, &pos)) % nNodes)
+			b := decodeByte(data, &pos)
+			if b%5 == 0 {
+				_ = p.netA.ClearGEModel(id)
+				_ = p.netB.ClearGEModel(id)
+			} else {
+				gp := GEParams{
+					PGood: float64(b%8) / 100,
+					PBad:  0.10 + float64(decodeByte(data, &pos)%30)/100,
+					P13:   0.05 + float64(decodeByte(data, &pos)%20)/10,
+					P31:   0.05 + float64(decodeByte(data, &pos)%20)/10,
+				}
+				_ = p.netA.SetGEModel(id, gp)
+				_ = p.netB.SetGEModel(id, gp)
+			}
+			err = p.compare("gemodel")
 		}
 		if err != nil {
 			return err
 		}
 	}
 
-	// Cancel unbounded cross-traffic so the queues can drain, then run to
-	// completion under a budget (hazard timers stop with their flows).
+	// Clear loss models and cancel unbounded cross-traffic so the queues
+	// can drain, then run to completion under a budget (hazard timers
+	// stop with their flows; GE chains would reschedule forever).
+	for i := 0; i < nNodes; i++ {
+		_ = p.netA.ClearGEModel(NodeID(i))
+		_ = p.netB.ClearGEModel(NodeID(i))
+	}
 	for i, f := range p.flowsA {
 		if math.IsInf(f.remaining, 1) {
 			f.Cancel()
@@ -267,9 +289,9 @@ func randomScript(r *rand.Rand, n int) []byte {
 // TestQuickIncrementalMatchesFull is the differential property: across
 // ≥1000 randomized event scripts (transfer starts, completions, ramps,
 // freezes, cancellations, capacity changes, administrative link flaps,
-// and scheduled fault plans), the incremental reallocator and the
-// reallocateFull oracle stay on bit-identical trajectories, compared
-// after every single engine event.
+// scheduled fault plans, and Gilbert–Elliott loss-state transitions),
+// the incremental reallocator and the reallocateFull oracle stay on
+// bit-identical trajectories, compared after every single engine event.
 func TestQuickIncrementalMatchesFull(t *testing.T) {
 	count := 0
 	f := func(seed int64) bool {

@@ -60,9 +60,13 @@ func (n *Network) ScheduleLink(id NodeID, steps []LinkStep) error {
 	if err := n.checkID(id); err != nil {
 		return err
 	}
-	for _, s := range steps {
+	for i, s := range steps {
 		if s.At < 0 {
 			return fmt.Errorf("netem: link step at negative time %v", s.At)
+		}
+		if i > 0 && s.At <= steps[i-1].At {
+			return fmt.Errorf("netem: link step times must be strictly increasing, got %v after %v",
+				s.At, steps[i-1].At)
 		}
 		step := s
 		n.eng.At(step.At, func() {

@@ -57,6 +57,7 @@ type Flow struct {
 	pendingRate float64
 
 	frozen      bool // in an RTO freeze; no bytes move
+	rampPending bool // a slow-start doubling is scheduled (fired timers are not Cancelled)
 	completion  *sim.Timer
 	rampTimer   *sim.Timer
 	setup       *sim.Timer
@@ -115,9 +116,7 @@ func (n *Network) StartTransfer(src, dst NodeID, size int64, opts TransferOption
 	if opts.Unbounded {
 		f.remaining = math.Inf(1)
 	}
-	if p := n.pathLossEventRate(src, dst); p > 0 {
-		f.lossCap = n.cfg.MathisC * float64(n.cfg.MSS) / (rtt.Seconds() * math.Sqrt(p))
-	}
+	f.lossCap = n.mathisCap(n.pathLossEventRate(src, dst), rtt)
 	// Ramping beyond what the access links can carry is pointless; stop there.
 	f.rampMax = math.Min(float64(n.nodes[src].cfg.UplinkBytesPerSec),
 		float64(n.nodes[dst].cfg.DownlinkBytesPerSec))
@@ -278,12 +277,16 @@ func (f *Flow) scheduleHazard() {
 	})
 }
 
-// scheduleRamp arranges the next slow-start doubling.
+// scheduleRamp arranges the next slow-start doubling. It is re-entered
+// when a loss-state change raises a parked flow's Mathis cap, so the
+// rampPending guard keeps at most one doubling in flight per flow.
 func (f *Flow) scheduleRamp() {
-	if f.rampCap >= f.rampMax || f.rampCap >= f.lossCap {
+	if f.rampPending || f.rampCap >= f.rampMax || f.rampCap >= f.lossCap {
 		return // ramping further would never change the allocation
 	}
+	f.rampPending = true
 	f.rampTimer = f.net.eng.Schedule(f.rtt, func() {
+		f.rampPending = false
 		if f.state != flowActive {
 			return
 		}
@@ -292,6 +295,17 @@ func (f *Flow) scheduleRamp() {
 		f.net.reallocateOn(f.lup, f.ldown)
 		f.net.emitFlow(f, FlowEventRamp)
 	})
+}
+
+// mathisCap returns the Mathis throughput bound C·MSS/(RTT·sqrt(p)) for
+// a path with loss-event rate p, guarding the sqrt(p) denominator: a
+// lossless path (p <= 0) or a degenerate input (NaN rate, non-positive
+// RTT) yields an unbounded cap instead of an Inf/NaN division.
+func (n *Network) mathisCap(p float64, rtt time.Duration) float64 {
+	if !(p > 0) || rtt <= 0 {
+		return math.Inf(1)
+	}
+	return n.cfg.MathisC * float64(n.cfg.MSS) / (rtt.Seconds() * math.Sqrt(p))
 }
 
 // capLimit returns the flow's own rate ceiling (slow start, loss model,

@@ -171,6 +171,8 @@ type Network struct {
 	flows   []*Flow // live flows; swap-removed on detach (order not load-bearing)
 	flowSeq int     // next flow ID
 	onFlow  func(FlowEvent)
+	// onLossState observes Gilbert–Elliott transitions (gemodel.go).
+	onLossState func(LossStateEvent)
 
 	// Incremental-reallocation state: a collection generation counter
 	// (stale marks never compare equal, so resets are O(1)) and reusable
@@ -189,7 +191,21 @@ type node struct {
 	cfg     NodeConfig
 	up      *link
 	down    *link
-	offline bool // link administratively down; flows touching it freeze
+	offline bool     // link administratively down; flows touching it freeze
+	ge      *geState // installed Gilbert–Elliott loss model, nil for baseline
+}
+
+// lossRate returns the node's effective packet-loss rate: the installed
+// Gilbert–Elliott model's state-dependent rate while one is active, the
+// configured baseline otherwise.
+func (nd *node) lossRate() float64 {
+	if nd.ge != nil {
+		if nd.ge.bad {
+			return nd.ge.params.PBad
+		}
+		return nd.ge.params.PGood
+	}
+	return nd.cfg.LossRate
 }
 
 type link struct {
@@ -261,9 +277,10 @@ func (n *Network) RTT(a, b NodeID) (time.Duration, error) {
 	return 2 * ow, err
 }
 
-// pathLossEventRate returns the TCP loss-event rate along a->b.
+// pathLossEventRate returns the TCP loss-event rate along a->b, from
+// each endpoint's effective (loss-model-aware) loss rate.
 func (n *Network) pathLossEventRate(a, b NodeID) float64 {
-	raw := 1 - (1-n.nodes[a].cfg.LossRate)*(1-n.nodes[b].cfg.LossRate)
+	raw := 1 - (1-n.nodes[a].lossRate())*(1-n.nodes[b].lossRate())
 	return raw * n.cfg.LossEventFactor
 }
 
@@ -302,7 +319,14 @@ func (n *Network) ScheduleBandwidth(id NodeID, steps []BandwidthStep) error {
 	if err := n.checkID(id); err != nil {
 		return err
 	}
-	for _, s := range steps {
+	for i, s := range steps {
+		if s.At < 0 {
+			return fmt.Errorf("netem: bandwidth step at negative time %v", s.At)
+		}
+		if i > 0 && s.At <= steps[i-1].At {
+			return fmt.Errorf("netem: bandwidth step times must be strictly increasing, got %v after %v",
+				s.At, steps[i-1].At)
+		}
 		if s.BytesPerSec <= 0 {
 			return fmt.Errorf("netem: bandwidth step rate must be positive, got %d", s.BytesPerSec)
 		}

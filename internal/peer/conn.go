@@ -17,7 +17,7 @@ type conn struct {
 	wmu    sync.Mutex   // serializes writes
 	wr     *wire.Writer // reusable encode buffer, guarded by wmu
 	mu     sync.Mutex   // guards have and closed
-	have   []bool     // remote's bitfield
+	have   []bool       // remote's bitfield
 	closed bool
 
 	// Upload-slot state: serving marks an occupied unchoke slot, waiting
@@ -132,6 +132,16 @@ func (c *conn) close() {
 	if !already {
 		_ = c.raw.Close()
 	}
+}
+
+// isClosed reports whether close has run. The scheduler checks it
+// before assigning a download: between close() and the asynchronous
+// dropConn that removes the conn from n.conns, the dead conn is still
+// listed and would otherwise be picked again.
+func (c *conn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // remoteHas reports whether the remote holds segment i.

@@ -114,23 +114,31 @@ func (n *Node) poolTargetLocked() int {
 	return n.cfg.Policy.PoolSize(bandwidth, buffered, segBytes)
 }
 
-// pickConnLocked returns the least-busy connection whose remote has idx.
+// pickConnLocked returns the connection to fetch idx from: among live
+// conns whose remote has the segment, the one with the fewest recorded
+// verification failures, ties broken by least busy. Closed conns are
+// skipped — a verify failure closes the serving conn, and until its
+// asynchronous dropConn runs the conn is still in n.conns, so without
+// the check the immediate reschedule re-picked the dead conn and the
+// segment stranded until the drop or the watchdog.
 func (n *Node) pickConnLocked(idx int) *conn {
 	busy := make(map[*conn]int)
 	for _, d := range n.active {
 		busy[d.conn]++
 	}
 	var best *conn
-	bestBusy := 0
+	bestBusy, bestFails := 0, 0
 	for _, c := range n.conns {
-		if !c.remoteHas(idx) || c.remoteChoked() {
+		if c.isClosed() || !c.remoteHas(idx) || c.remoteChoked() {
 			continue
 		}
 		if busy[c] >= n.cfg.MaxConcurrentPerConn {
 			continue
 		}
-		if best == nil || busy[c] < bestBusy {
-			best, bestBusy = c, busy[c]
+		fails := n.verifyFailsBy[c.id]
+		if best == nil || fails < bestFails ||
+			(fails == bestFails && busy[c] < bestBusy) {
+			best, bestBusy, bestFails = c, busy[c], fails
 		}
 	}
 	return best
@@ -203,6 +211,9 @@ func (n *Node) onPiece(c *conn, m *wire.Message) {
 		n.cfg.Logf("peer %s: segment %d failed verification from %s: %v", n.peerID, idx, c.id, err)
 		n.mu.Lock()
 		n.stats.VerifyFailures++
+		// Remember the offender across reconnects: the peer ID, not the
+		// conn, is the stable identity a repeat corrupter keeps.
+		n.verifyFailsBy[c.id]++
 		n.mu.Unlock()
 		n.nm.verifyFails.Inc()
 		n.emitAt(n.now(), trace.CatSched, trace.EvVerifyFail, idx)

@@ -125,10 +125,15 @@ type Node struct {
 	tr *trace.Tracer // immutable after construction; nil-safe
 	nm nodeMetrics   // immutable after construction; handles are no-ops without a registry
 
-	mu            sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers, dialState, openStallAt and openStallCause
-	conns         map[wire.PeerID]*conn
-	active        map[int]*segDownload // in-flight segment downloads
-	play          *player.Player       // nil for seeders
+	mu     sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers, dialState, verifyFailsBy, openStallAt and openStallCause
+	conns  map[wire.PeerID]*conn
+	active map[int]*segDownload // in-flight segment downloads
+	// verifyFailsBy counts manifest-verification failures per remote peer
+	// ID. The scheduler deprioritizes repeat offenders, so a peer serving
+	// corrupt data (malicious or sitting behind a flipping link) cannot be
+	// re-picked over a clean source just because it is less busy.
+	verifyFailsBy map[wire.PeerID]int
+	play          *player.Player // nil for seeders
 	est           *core.AggregateMeter
 	stats         Stats
 	servingConns  int     // occupied upload slots
@@ -280,24 +285,25 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		}
 	}
 	n := &Node{
-		cfg:       cfg,
-		trk:       trk,
-		infoHash:  ih,
-		peerID:    peerID,
-		manifest:  m,
-		store:     store,
-		seeder:    seeder,
-		started:   time.Now(),
-		tr:        cfg.Trace,
-		nm:        newNodeMetrics(cfg.Metrics, m.Splicing),
-		conns:     make(map[wire.PeerID]*conn),
-		active:    make(map[int]*segDownload),
-		dialState: make(map[string]*dialBackoff),
-		play:      play,
-		est:       est,
-		completeC: make(chan struct{}),
-		ctx:       ctx,
-		cancel:    cancel,
+		cfg:           cfg,
+		trk:           trk,
+		infoHash:      ih,
+		peerID:        peerID,
+		manifest:      m,
+		store:         store,
+		seeder:        seeder,
+		started:       time.Now(),
+		tr:            cfg.Trace,
+		nm:            newNodeMetrics(cfg.Metrics, m.Splicing),
+		conns:         make(map[wire.PeerID]*conn),
+		active:        make(map[int]*segDownload),
+		dialState:     make(map[string]*dialBackoff),
+		verifyFailsBy: make(map[wire.PeerID]int),
+		play:          play,
+		est:           est,
+		completeC:     make(chan struct{}),
+		ctx:           ctx,
+		cancel:        cancel,
 	}
 	if play != nil {
 		// Attached after the resume registrations above, so only post-join

@@ -1,0 +1,98 @@
+package peer
+
+import (
+	"testing"
+
+	"p2psplice/internal/wire"
+)
+
+func pickTestNode() *Node {
+	return &Node{
+		cfg:           Config{}.withDefaults(),
+		conns:         make(map[wire.PeerID]*conn),
+		active:        make(map[int]*segDownload),
+		verifyFailsBy: make(map[wire.PeerID]int),
+	}
+}
+
+func pickTestConn(n *Node, tag string, segments int) *conn {
+	var id wire.PeerID
+	copy(id[:], tag)
+	c := &conn{id: id, have: make([]bool, segments)}
+	for i := range c.have {
+		c.have[i] = true
+	}
+	n.conns[id] = c
+	return c
+}
+
+// Regression: a verify failure closes the serving conn, but the conn
+// stays in n.conns until its reader goroutine runs dropConn. The
+// immediate reschedule must not hand the segment back to the dead conn
+// — pre-fix, pickConnLocked did exactly that and the segment stranded
+// until the watchdog.
+func TestPickConnSkipsClosedConns(t *testing.T) {
+	n := pickTestNode()
+	dead := pickTestConn(n, "DEAD-CONN-DEAD-CONN-", 4)
+	dead.closed = true
+
+	n.mu.Lock()
+	got := n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != nil {
+		t.Fatal("pickConnLocked returned a closed conn")
+	}
+
+	// With a live alternative present, the closed conn must lose even
+	// though it looks less busy (its downloads were orphaned).
+	live := pickTestConn(n, "LIVE-CONN-LIVE-CONN-", 4)
+	n.active[1] = &segDownload{index: 1, conn: live}
+	n.mu.Lock()
+	got = n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != live {
+		t.Fatalf("pickConnLocked = %v, want the live conn", got)
+	}
+}
+
+// Regression: a peer that served corrupt data was re-picked over a clean
+// source whenever it was less busy, so a persistent corrupter (or a
+// malicious peer) could capture the schedule indefinitely. Recorded
+// verify failures now outrank busyness.
+func TestPickConnDeprioritizesVerifyFailers(t *testing.T) {
+	n := pickTestNode()
+	bad := pickTestConn(n, "EVIL-CONN-EVIL-CONN-", 4)
+	good := pickTestConn(n, "GOOD-CONN-GOOD-CONN-", 4)
+	n.verifyFailsBy[bad.id] = 1
+	// The clean conn is busier: pre-fix least-busy logic picked the
+	// corrupter.
+	n.active[1] = &segDownload{index: 1, conn: good}
+
+	n.mu.Lock()
+	got := n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != good {
+		t.Fatal("pickConnLocked preferred a conn with recorded verify failures")
+	}
+
+	// Busyness still breaks ties between equally-trusted conns.
+	n.verifyFailsBy[bad.id] = 0
+	n.mu.Lock()
+	got = n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != bad {
+		t.Fatal("with equal failure counts the least-busy conn must win")
+	}
+
+	// The failure count outranks busyness, but a failing conn is still a
+	// last resort when it is the only source.
+	n.verifyFailsBy[bad.id] = 3
+	delete(n.conns, good.id)
+	delete(n.active, 1)
+	n.mu.Lock()
+	got = n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != bad {
+		t.Fatal("a sole source must still be picked despite verify failures")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"p2psplice/internal/fault"
+	"p2psplice/internal/netem"
 	"p2psplice/internal/trace"
 )
 
@@ -40,6 +41,15 @@ func (s *swarm) compileFaults() error {
 			s.eng.At(ev.At, func() { s.setTracker(true) })
 		case fault.KindTrackerUp:
 			s.eng.At(ev.At, func() { s.setTracker(false) })
+		case fault.KindBurstLoss:
+			m := ev.Loss
+			s.eng.At(ev.At, func() { s.setBurstLoss(s.peers[ev.Node], &m) })
+		case fault.KindBurstLossEnd:
+			s.eng.At(ev.At, func() { s.setBurstLoss(s.peers[ev.Node], nil) })
+		case fault.KindCorrupt:
+			s.eng.At(ev.At, func() { s.setCorrupt(s.peers[ev.Node], ev.Percent) })
+		case fault.KindCorruptEnd:
+			s.eng.At(ev.At, func() { s.setCorrupt(s.peers[ev.Node], 0) })
 		}
 	}
 	return nil
@@ -111,6 +121,51 @@ func (s *swarm) setLinkRate(p *peerState, bytesPerSec int64) {
 	_ = s.net.SetDownlink(p.node, bytesPerSec)
 	s.emit(p.id, -1, trace.CatFault, trace.EvLinkRate,
 		trace.Int64("rate", bytesPerSec))
+}
+
+// setBurstLoss installs (m != nil) or clears (m == nil) a
+// Gilbert–Elliott burst-loss model on a peer's access link. While
+// installed, netem drives the good/bad chain on the engine clock and
+// re-derives every affected Mathis cap on each transition through the
+// incremental allocator; the per-transition loss-state observer (see
+// trace.go) records the windows for stall attribution.
+func (s *swarm) setBurstLoss(p *peerState, m *fault.GEModel) {
+	if m != nil {
+		// Errors are impossible: the plan validated the parameters and
+		// node IDs come from setup.
+		_ = s.net.SetGEModel(p.node, netem.GEParams{
+			PGood: m.PGood, PBad: m.PBad, P13: m.P13, P31: m.P31,
+		})
+		s.emit(p.id, -1, trace.CatFault, trace.EvBurstLoss,
+			trace.Float64("p_good", m.PGood),
+			trace.Float64("p_bad", m.PBad),
+			trace.Float64("p13", m.P13),
+			trace.Float64("p31", m.P31))
+		return
+	}
+	_ = s.net.ClearGEModel(p.node)
+	s.emit(p.id, -1, trace.CatFault, trace.EvBurstLossEnd)
+}
+
+// setCorrupt opens (pct > 0) or closes (pct == 0) a segment-corruption
+// window on a peer: while open, each completed download is discarded
+// with probability pct/100 as a container checksum failure and
+// re-requested. The draws are pure hashes (fault.CorruptDraw), so the
+// window consumes no engine randomness.
+func (s *swarm) setCorrupt(p *peerState, pct float64) {
+	if pct > 0 {
+		p.corruptPct = pct
+		p.corruptStartAt = s.eng.Now()
+		if p.segAttempts == nil {
+			p.segAttempts = make(map[int]int)
+		}
+		s.emit(p.id, -1, trace.CatFault, trace.EvCorrupt,
+			trace.Float64("percent", pct))
+		return
+	}
+	p.corruptPct = 0
+	p.corruptEndAt = s.eng.Now()
+	s.emit(p.id, -1, trace.CatFault, trace.EvCorruptEnd)
 }
 
 // setTracker starts or ends a tracker outage. Peers already in the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p2psplice/internal/core"
+	"p2psplice/internal/fault"
 	"p2psplice/internal/netem"
 	"p2psplice/internal/player"
 	"p2psplice/internal/trace"
@@ -56,6 +57,24 @@ type peerState struct {
 	linkDowns      int
 	lastLinkDownAt time.Duration
 	linkUpAt       time.Duration
+	// Corruption window state (fault plans only). corruptPct > 0 while a
+	// window is open on this peer; the bounds and discard counters give
+	// retroactively-observed stalls inside the window their cause.
+	corruptPct      float64
+	corruptStartAt  time.Duration
+	corruptEndAt    time.Duration
+	corruptDiscards int
+	lastDiscardAt   time.Duration
+	// segAttempts counts download attempts per segment so every retry of
+	// a discarded segment gets a fresh deterministic corruption draw
+	// (a fixed per-segment draw would livelock at high percentages).
+	segAttempts map[int]int
+	// Burst-loss window observations. Observer-owned like openStall*:
+	// written only by onLossState (attached only when tracing or
+	// metering) and read only by stall attribution, never by scheduling.
+	geBursts int
+	geBadAt  time.Duration
+	geGoodAt time.Duration
 	// retryAttempt counts consecutive blocked fills for backoff; any
 	// successful launch resets it.
 	retryAttempt int
@@ -417,6 +436,30 @@ func (s *swarm) onDownloadComplete(p, src *peerState, idx int, f *netem.Flow) {
 		k = 1
 	}
 	p.est.Observe(f.Size()*k, f.Elapsed())
+	// Inside a corruption window the bytes arrive (the estimator above
+	// sees real link throughput) but the segment can fail container
+	// checksum verification, in which case it goes back to the pool and
+	// is fetched again. Whether THIS attempt is corrupted is a pure hash
+	// of (seed, peer, segment, attempt) — see fault.CorruptDraw — so the
+	// outcome is identical across runs and -workers values and consumes
+	// no engine randomness.
+	if p.corruptPct > 0 && !p.have[idx] {
+		attempt := p.segAttempts[idx]
+		p.segAttempts[idx] = attempt + 1
+		if fault.CorruptDraw(s.cfg.Seed, p.id, idx, attempt)*100 < p.corruptPct {
+			p.corruptDiscards++
+			p.lastDiscardAt = now
+			if s.cfg.Tracer.Enabled() {
+				s.emit(p.id, idx, trace.CatPool, trace.EvVerifyFail,
+					trace.Int64("attempt", int64(attempt)),
+					trace.Int64("src", int64(src.id)))
+			}
+			// Not a completion: no segment metrics, no have/player update.
+			// Refill so the re-request launches immediately.
+			s.fill(p)
+			return
+		}
+	}
 	s.sm.segSeconds.ObserveDuration(f.Elapsed())
 	s.sm.segBytes.Observe(f.Size())
 	if s.cfg.Tracer.Enabled() {

@@ -131,7 +131,8 @@ type SwarmConfig struct {
 	// Churn optionally makes leechers depart.
 	Churn ChurnModel
 	// Faults optionally injects a deterministic schedule of fault events
-	// (peer crash/rejoin, link flaps and rate dips, tracker outages),
+	// (peer crash/rejoin, link flaps and rate dips, tracker outages,
+	// Gilbert–Elliott burst-loss windows, segment-corruption windows),
 	// compiled against the sim clock at setup. The plan must validate
 	// against the swarm's node count and have closed windows (every crash
 	// paired with a rejoin, etc. — see fault.Plan.Validate). An empty plan
@@ -356,10 +357,15 @@ func (s *swarm) nodePlan() (seeder netem.NodeConfig, leechers, traffic []netem.N
 }
 
 func (s *swarm) setup() error {
-	if s.cfg.Tracer.Enabled() {
-		// Pure listeners: they observe firings and flow transitions without
-		// feeding anything back into the simulation.
+	if s.cfg.Tracer.Enabled() || s.cfg.Metrics != nil {
+		// Pure listeners: they observe without feeding anything back into
+		// the simulation. The loss-state observer (and the node→peer map
+		// it needs) also serves metrics-only runs, because per-cause stall
+		// histograms attribute retroactive stalls to burst windows.
 		s.nodeToPeer = make(map[netem.NodeID]int)
+		s.net.SetLossStateObserver(s.onLossState)
+	}
+	if s.cfg.Tracer.Enabled() {
 		s.eng.SetFireObserver(func(time.Duration) { s.eventsFired++ })
 		s.net.SetFlowObserver(s.onFlowEvent)
 	}

@@ -62,6 +62,52 @@ func (s *swarm) onFlowEvent(ev netem.FlowEvent) {
 	s.emitAt(ev.At, peer, -1, trace.CatFlow, name, args...)
 }
 
+// onLossState observes Gilbert–Elliott state transitions on peers'
+// access links. It records the most recent bad window's bounds on the
+// peer (observer-owned fields, like openStall*: read only by stall
+// attribution, never by scheduling) and, when tracing, emits the
+// transition. Attached whenever tracing or metering is on — both need
+// stall attribution.
+func (s *swarm) onLossState(ev netem.LossStateEvent) {
+	peer := -1
+	if id, ok := s.nodeToPeer[ev.Node]; ok {
+		peer = id
+	}
+	if peer >= 0 {
+		p := s.peers[peer]
+		if ev.Bad {
+			p.geBursts++
+			p.geBadAt = ev.At
+		} else if p.geBursts > 0 {
+			p.geGoodAt = ev.At
+		}
+	}
+	if s.cfg.Tracer.Enabled() {
+		bad := int64(0)
+		if ev.Bad {
+			bad = 1
+		}
+		s.emitAt(ev.At, peer, -1, trace.CatFault, trace.EvLossState,
+			trace.Int64("bad", bad),
+			trace.Float64("loss", ev.Loss))
+	}
+}
+
+// inBurstWindow reports whether the peer's access link is in the
+// Gilbert–Elliott bad state now, or was at the (possibly retroactive)
+// stall timestamp at, per the windows onLossState recorded.
+func (s *swarm) inBurstWindow(p *peerState, at time.Duration) bool {
+	if s.net.LossStateBad(p.node) {
+		return true
+	}
+	if p.geBursts == 0 || at < p.geBadAt {
+		return false
+	}
+	// geGoodAt <= geBadAt means the recovery transition has not fired
+	// (or fired for an earlier burst): the window is still open.
+	return p.geGoodAt <= p.geBadAt || at < p.geGoodAt
+}
+
 // onPlayerTransition translates playback state changes, attributing every
 // beginning stall to its proximate cause.
 func (s *swarm) onPlayerTransition(p *peerState, tr player.Transition) {
@@ -114,6 +160,13 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 		(p.linkDowns > 0 && at >= p.lastLinkDownAt && at < p.linkUpAt) {
 		return trace.CauseLinkDown, inflight, 0
 	}
+	// A corruption window made this peer throw away verified-bad
+	// segments: the re-downloads, not the scheduler, are the proximate
+	// cause of a stall inside the window.
+	if p.corruptDiscards > 0 && at >= p.corruptStartAt &&
+		(p.corruptPct > 0 || at < p.corruptEndAt) {
+		return trace.CauseCorruptSegment, inflight, 0
+	}
 	if inflight == 0 {
 		if next := s.nextWanted(p); next >= 0 && s.holderCount(next) == 0 {
 			if s.trackerDown {
@@ -153,6 +206,19 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 	}
 	if frozen > 0 {
 		return trace.CauseFrozenFlow, inflight, frozen
+	}
+	// Burst loss: the peer's own access link, or the link of a source
+	// serving one of its in-flight downloads, is (or was, at the stall's
+	// timestamp) in the Gilbert–Elliott bad state — the crushed Mathis
+	// caps, not ordinary congestion, explain the slow flows. The map
+	// iteration order is irrelevant: any match yields the same cause.
+	if s.inBurstWindow(p, at) {
+		return trace.CauseBurstLoss, inflight, 0
+	}
+	for _, d := range p.inFlight {
+		if s.inBurstWindow(d.src, at) {
+			return trace.CauseBurstLoss, inflight, 0
+		}
 	}
 	return trace.CauseSlowFlow, inflight, 0
 }

@@ -71,6 +71,15 @@ const (
 	EvLinkRate    = "link_rate"
 	EvTrackerDown = "tracker_down"
 	EvTrackerUp   = "tracker_up"
+
+	// Correlated impairments (CatFault): Gilbert–Elliott burst-loss
+	// windows, segment-corruption windows, and the loss-state
+	// transitions netem's chains fire while a burst window is open.
+	EvBurstLoss    = "burst_loss_start"
+	EvBurstLossEnd = "burst_loss_end"
+	EvCorrupt      = "corrupt_start"
+	EvCorruptEnd   = "corrupt_end"
+	EvLossState    = "loss_state"
 )
 
 // Stall causes attached to EvStallCause events. Every stall must carry
@@ -100,6 +109,14 @@ const (
 	// CauseTrackerDown: no source is known for the next segment and the
 	// tracker is unavailable, so no new sources can be discovered.
 	CauseTrackerDown = "tracker_down"
+	// CauseBurstLoss: the peer's own access link — or the link serving
+	// one of its in-flight downloads — is in the Gilbert–Elliott bad
+	// (bursting) state, crushing the flows' Mathis caps.
+	CauseBurstLoss = "burst_loss"
+	// CauseCorruptSegment: a corruption window is open on the peer and a
+	// downloaded segment recently failed verification, forcing a
+	// re-download of bytes already paid for.
+	CauseCorruptSegment = "corrupt_segment"
 )
 
 // StallCauses returns the closed set of attributable stall causes, in a
@@ -115,6 +132,8 @@ func StallCauses() []string {
 		CausePeerCrash,
 		CauseLinkDown,
 		CauseTrackerDown,
+		CauseBurstLoss,
+		CauseCorruptSegment,
 	}
 }
 
