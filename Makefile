@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench-alloc bench-swarm fuzz-smoke bench-json trace-smoke fault-smoke burst-smoke metrics-smoke
+.PHONY: all build test race vet lint bench-alloc bench-swarm fuzz-smoke bench-json trace-smoke fault-smoke burst-smoke adversary-smoke metrics-smoke
 
 all: build vet lint test
 
@@ -109,6 +109,29 @@ burst-smoke:
 	$(GO) run ./cmd/experiment -quick -figure burst -trace burst-trace-quick > /dev/null
 	$(GO) run ./cmd/splicetrace report burst-trace-quick -require-attributed > burst-trace-report.txt
 	@echo "burst-smoke: burst figure bit-identical across runs and workers, stalls fully attributed"
+
+# adversary-smoke: the adversarial-peer figure (polluter fractions ×
+# reputation on/off) must be bit-reproducible — pollution decisions are
+# pure hashes of each cell's seed and the reputation tables are
+# per-swarm state, so nothing may vary across runs or worker counts.
+# Then regenerate it with per-cell traces and require 100% stall
+# attribution: every stall under pollution and quarantine carries a
+# cause (peer_quarantined included).
+adversary-smoke:
+	$(GO) run ./cmd/experiment -quick -figure adversary -json -workers 1 > adversary-smoke-a.json
+	$(GO) run ./cmd/experiment -quick -figure adversary -json -workers 1 > adversary-smoke-b.json
+	grep -v '"elapsed_ms"' adversary-smoke-a.json > adversary-smoke-a.stripped
+	grep -v '"elapsed_ms"' adversary-smoke-b.json > adversary-smoke-b.stripped
+	cmp adversary-smoke-a.stripped adversary-smoke-b.stripped
+	$(GO) run ./cmd/experiment -quick -figure adversary -json -workers 4 > adversary-smoke-c.json
+	grep -v '"elapsed_ms"\|"workers"' adversary-smoke-a.json > adversary-smoke-aw.stripped
+	grep -v '"elapsed_ms"\|"workers"' adversary-smoke-c.json > adversary-smoke-cw.stripped
+	cmp adversary-smoke-aw.stripped adversary-smoke-cw.stripped
+	$(GO) run ./cmd/experiment -quick -figure adversary -trace adversary-trace-quick > /dev/null
+	$(GO) run ./cmd/splicetrace report adversary-trace-quick -require-attributed > adversary-trace-report.txt
+	@grep -q "penalized peer" adversary-trace-report.txt || \
+		{ echo "adversary-smoke: report missing the reputation rollup"; exit 1; }
+	@echo "adversary-smoke: adversary figure bit-identical across runs and workers, stalls fully attributed"
 
 # Short fuzz pass over every fuzz target; go's fuzzer accepts one -fuzz
 # pattern per package invocation, so targets run sequentially.

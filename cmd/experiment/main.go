@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiment [-figure all|2|3|4|5|6|table|churn|burst] [-quick] [-runs N] [-leechers N]
-//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR] [-churn] [-burst]
+//	experiment [-figure all|2|3|4|5|6|table|churn|burst|adversary] [-quick] [-runs N] [-leechers N]
+//	           [-clip 2m] [-seed N] [-workers N] [-json] [-trace DIR] [-churn] [-burst] [-adversary]
 //	           [-ablation churn|estimator|relay|rarest|cross|varbw]
 package main
 
@@ -28,20 +28,21 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, or table")
-		quick    = flag.Bool("quick", false, "use the scaled-down quick parameters")
-		runs     = flag.Int("runs", 0, "override repetitions per sweep point")
-		leechers = flag.Int("leechers", 0, "override the number of viewers")
-		clip     = flag.Duration("clip", 0, "override the clip duration")
-		seed     = flag.Int64("seed", 0, "override the base seed")
-		ablation = flag.String("ablation", "", "run an ablation instead: churn, estimator, relay, rarest, cross, varbw, hetero, cdn")
-		real     = flag.Bool("real", false, "cross-validate: run one small swarm on BOTH the emulator and real TCP sockets")
-		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
-		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable figure results as JSON on stdout instead of text tables")
-		traceDir = flag.String("trace", "", "write per-cell trace artifacts (.jsonl, .trace.json, .timeline.json) into this directory; figure values are unchanged")
-		churn    = flag.Bool("churn", false, "also run the churn figure (seeded fault injection); implied by -figure churn")
-		burst    = flag.Bool("burst", false, "also run the burst figure (correlated loss + corruption); implied by -figure burst")
+		figure    = flag.String("figure", "all", "which figure to regenerate: all, 2, 3, 4, 5, 6, or table")
+		quick     = flag.Bool("quick", false, "use the scaled-down quick parameters")
+		runs      = flag.Int("runs", 0, "override repetitions per sweep point")
+		leechers  = flag.Int("leechers", 0, "override the number of viewers")
+		clip      = flag.Duration("clip", 0, "override the clip duration")
+		seed      = flag.Int64("seed", 0, "override the base seed")
+		ablation  = flag.String("ablation", "", "run an ablation instead: churn, estimator, relay, rarest, cross, varbw, hetero, cdn")
+		real      = flag.Bool("real", false, "cross-validate: run one small swarm on BOTH the emulator and real TCP sockets")
+		csvDir    = flag.String("csv", "", "also write each figure as CSV into this directory")
+		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable figure results as JSON on stdout instead of text tables")
+		traceDir  = flag.String("trace", "", "write per-cell trace artifacts (.jsonl, .trace.json, .timeline.json) into this directory; figure values are unchanged")
+		churn     = flag.Bool("churn", false, "also run the churn figure (seeded fault injection); implied by -figure churn")
+		burst     = flag.Bool("burst", false, "also run the burst figure (correlated loss + corruption); implied by -figure burst")
+		adversary = flag.Bool("adversary", false, "also run the adversary figure (polluters vs reputation); implied by -figure adversary")
 	)
 	flag.Parse()
 
@@ -103,6 +104,9 @@ func main() {
 		"table": {"Splicing table", func([]int64) (*experiment.FigureResult, error) { return p.SpliceOverheadTable() }},
 		"churn": {"Churn figure (extension)", func([]int64) (*experiment.FigureResult, error) { return p.FigChurn(nil) }},
 		"burst": {"Burst figure (extension)", func([]int64) (*experiment.FigureResult, error) { return p.FigBurst(nil) }},
+		"adversary": {"Adversary figure (extension)", func([]int64) (*experiment.FigureResult, error) {
+			return p.FigAdversary(nil)
+		}},
 	}
 	order := []string{"2", "3", "4", "5", "6", "table"}
 	if *churn {
@@ -110,6 +114,9 @@ func main() {
 	}
 	if *burst {
 		order = append(order, "burst")
+	}
+	if *adversary {
+		order = append(order, "adversary")
 	}
 	if *figure != "all" {
 		if _, ok := gens[*figure]; !ok {

@@ -33,6 +33,7 @@ var DeterministicPackages = []string{
 	"p2psplice/internal/container",
 	"p2psplice/internal/topology",
 	"p2psplice/internal/player",
+	"p2psplice/internal/reputation",
 }
 
 // Determinism flags, inside the simulation-deterministic packages:

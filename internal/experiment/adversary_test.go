@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// adversaryTestParams is a small grid: enough leechers for the polluter
+// fractions to differ, quick enough for the ordinary test run.
+func adversaryTestParams() Params {
+	p := QuickParams()
+	p.ClipDuration = 24 * time.Second
+	p.Leechers = 5
+	return p
+}
+
+// TestPolluterNodes pins the adversary placement: evenly interleaved
+// across leecher IDs, at least one when the fraction is non-zero, never
+// more than the leecher count.
+func TestPolluterNodes(t *testing.T) {
+	cases := []struct {
+		leechers int
+		pct      float64
+		want     []int
+	}{
+		{19, 0, []int{}},
+		{19, 10, []int{1}},
+		{19, 25, []int{1, 5, 10, 15}},
+		{19, 50, []int{1, 3, 5, 7, 9, 11, 13, 15, 17}},
+		{5, 10, []int{1}}, // rounds down to zero, clamped up to one
+		{4, 100, []int{1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := polluterNodes(c.leechers, c.pct)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("polluterNodes(%d, %v%%) = %v, want %v", c.leechers, c.pct, got, c.want)
+		}
+		for _, n := range got {
+			if n < 1 || n > c.leechers {
+				t.Errorf("polluterNodes(%d, %v%%) placed adversary on node %d", c.leechers, c.pct, n)
+			}
+		}
+	}
+}
+
+// TestFigAdversaryShape checks the figure's structure: every series is
+// present with one value per adversary level, and values are finite.
+func TestFigAdversaryShape(t *testing.T) {
+	p := adversaryTestParams()
+	res, err := p.FigAdversary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := AdversaryLevels()
+	wantSeries := []string{"gop rep-on", "gop rep-off", "4s rep-on", "4s rep-off"}
+	if len(res.Values) != len(wantSeries) {
+		t.Fatalf("figure has %d series, want %d", len(res.Values), len(wantSeries))
+	}
+	for _, name := range wantSeries {
+		vals := res.Series(name)
+		if len(vals) != len(levels) {
+			t.Fatalf("series %q has %d values for %d levels", name, len(vals), len(levels))
+		}
+		for i, v := range vals {
+			if v < 0 {
+				t.Errorf("series %q level %s: negative badness %g", name, levels[i].Name, v)
+			}
+		}
+	}
+	if got := len(res.Figure.XValues); got != len(levels) {
+		t.Errorf("x axis has %d labels, want %d", got, len(levels))
+	}
+	// At the honest level the reputation subsystem must be a free rider:
+	// rep-on and rep-off see identical swarms, so their measurements are
+	// bit-identical.
+	for _, scheme := range []string{"gop", "4s"} {
+		on, off := res.Series(scheme+" rep-on")[0], res.Series(scheme+" rep-off")[0]
+		if on != off {
+			t.Errorf("%s: honest-swarm badness differs with reputation on (%v) vs off (%v)",
+				scheme, on, off)
+		}
+	}
+}
+
+// TestFigAdversaryDeterministicAcrossWorkers requires the adversary
+// sweep to be bit-identical between the serial and the parallel runner:
+// polluter draws are pure hashes of each cell's own seed, and the
+// reputation tables live per-swarm, never in shared state.
+func TestFigAdversaryDeterministicAcrossWorkers(t *testing.T) {
+	serial := adversaryTestParams()
+	serial.Workers = 1
+	parallel := adversaryTestParams()
+	parallel.Workers = 4
+
+	a, err := serial.FigAdversary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.FigAdversary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Values, b.Values) {
+		t.Errorf("adversary figure differs between workers=1 and workers=4:\nserial:   %v\nparallel: %v",
+			a.Values, b.Values)
+	}
+}

@@ -82,3 +82,70 @@ func TestChurnTraceReportFullyAttributed(t *testing.T) {
 		t.Error("no cause breakdown rows")
 	}
 }
+
+// renderAdversaryReport runs the adversary figure with the given worker
+// count and returns the serialized trace report.
+func renderAdversaryReport(t *testing.T, workers int) (json, table string) {
+	t.Helper()
+	p := tracedParams()
+	p.TraceDir = t.TempDir()
+	p.Workers = workers
+	if _, err := p.FigAdversary(nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tracereport.AnalyzeDir(p.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j, tb bytes.Buffer
+	if err := tracereport.WriteJSON(&j, a.Report); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracereport.WriteTable(&tb, a.Report); err != nil {
+		t.Fatal(err)
+	}
+	return j.String(), tb.String()
+}
+
+// The adversary figure's trace report — including the per-peer
+// reputation rollup — must be byte-identical across -workers values.
+func TestAdversaryTraceReportIdenticalAcrossWorkers(t *testing.T) {
+	jSerial, tSerial := renderAdversaryReport(t, 1)
+	jPar, tPar := renderAdversaryReport(t, 4)
+	if jSerial != jPar {
+		t.Errorf("adversary report.json differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", jSerial, jPar)
+	}
+	if tSerial != tPar {
+		t.Error("adversary report table differs between workers=1 and workers=4")
+	}
+}
+
+// The adversary figure quarantines polluters, so its trace dir must show
+// reputation rollup rows, and every stall — peer_quarantined included —
+// must be attributed (the acceptance criterion).
+func TestAdversaryTraceReportReputationAndAttribution(t *testing.T) {
+	p := tracedParams()
+	p.TraceDir = t.TempDir()
+	if _, err := p.FigAdversary(nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tracereport.AnalyzeDir(p.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Report
+	if len(r.Reputation) == 0 {
+		t.Fatal("adversary figure traced no reputation rows")
+	}
+	var quarantines, quarUS int64
+	for _, rp := range r.Reputation {
+		quarantines += rp.Quarantines
+		quarUS += rp.QuarantineUS
+	}
+	if quarantines == 0 || quarUS == 0 {
+		t.Errorf("rollup shows %d quarantines over %dus; polluters should have been banned", quarantines, quarUS)
+	}
+	if r.Stalls.Attributed != r.Stalls.Count {
+		t.Errorf("%d of %d stalls unattributed", r.Stalls.Count-r.Stalls.Attributed, r.Stalls.Count)
+	}
+}

@@ -69,6 +69,24 @@ func CorruptDraw(seed int64, node, seg, attempt int) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
+// PolluteDraw returns the uniform draw in [0, 1) deciding whether a
+// polluter at srcNode corrupts attempt number attempt of segment seg
+// requested by dstNode. Like CorruptDraw it is a pure splitmix64 hash —
+// never an engine RNG — so pollution perturbs no other random draw, is
+// identical across -workers values, and each retry gets a fresh draw
+// (a fixed per-pair draw would livelock at high pollution rates when
+// the polluter is the only remaining source). The extra srcNode key
+// keeps draws independent across adversaries serving the same victim.
+// A serve is polluted when PolluteDraw(...)*100 < Percent.
+func PolluteDraw(seed int64, srcNode, dstNode, seg, attempt int) float64 {
+	h := splitmix64(splitmix64(uint64(seed)^
+		uint64(srcNode)*0x9e3779b97f4a7c15^
+		uint64(seg)*0xbf58476d1ce4e5b9^
+		uint64(attempt)*0x94d049bb133111eb) ^
+		uint64(dstNode)*0x9e3779b97f4a7c15)
+	return float64(h>>11) / (1 << 53)
+}
+
 // splitmix64 is the finalizer from Vigna's SplitMix64: a cheap,
 // well-mixed pure hash — exactly what deterministic jitter needs.
 func splitmix64(x uint64) uint64 {

@@ -54,6 +54,24 @@ const (
 	KindCorrupt
 	// KindCorruptEnd closes a corruption window.
 	KindCorruptEnd
+	// KindAdversary opens an adversarial-behavior window on a node: the
+	// peer misbehaves AS A SOURCE according to the Adversary field
+	// (persistent corrupter, intermittent polluter, stale-have liar, or
+	// slowloris). Unlike KindCorrupt — which models a victim's flaky
+	// path — the adversary window marks the serving peer as the byzantine
+	// party, which is what per-peer reputation must detect.
+	KindAdversary
+	// KindAdversaryEnd closes an adversary window.
+	KindAdversaryEnd
+	// KindDuplicate opens a duplicated-delivery window on a node: every
+	// PIECE it serves is sent twice. Receivers must be idempotent — no
+	// double-counted bytes, no state corruption (the pumba netem
+	// "duplication" impairment). Per-packet duplication is below the
+	// fluid flow model's granularity, so the emulation traces the window
+	// without behavioral effect; the real stack delivers real duplicates.
+	KindDuplicate
+	// KindDuplicateEnd closes a duplication window.
+	KindDuplicateEnd
 )
 
 // String returns the canonical wire/trace name of the kind.
@@ -81,8 +99,59 @@ func (k Kind) String() string {
 		return "corrupt_start"
 	case KindCorruptEnd:
 		return "corrupt_end"
+	case KindAdversary:
+		return "adversary_start"
+	case KindAdversaryEnd:
+		return "adversary_end"
+	case KindDuplicate:
+		return "duplicate_start"
+	case KindDuplicateEnd:
+		return "duplicate_end"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AdversaryKind selects the misbehavior of a KindAdversary window.
+type AdversaryKind int
+
+const (
+	// AdvNone is the zero value: no adversarial behavior.
+	AdvNone AdversaryKind = iota
+	// AdvCorrupter serves bytes that always fail manifest verification:
+	// every segment downloaded FROM this peer during the window is
+	// discarded by the requester.
+	AdvCorrupter
+	// AdvPolluter corrupts intermittently: each serve fails verification
+	// with probability Percent/100, drawn per attempt from a pure hash
+	// (PolluteDraw) so retries get fresh draws and the schedule stays
+	// bit-identical across runs and -workers values.
+	AdvPolluter
+	// AdvStaleHave advertises every segment (stale or fabricated HAVE
+	// claims) but never serves a byte: requesters hang until their serve
+	// timeout fires.
+	AdvStaleHave
+	// AdvSlowloris accepts requests and trickles bytes at BytesPerSec —
+	// slow enough that requesters hit their serve timeout with the
+	// transfer still incomplete.
+	AdvSlowloris
+)
+
+// String returns the canonical trace name of the adversary kind.
+func (a AdversaryKind) String() string {
+	switch a {
+	case AdvNone:
+		return "none"
+	case AdvCorrupter:
+		return "corrupter"
+	case AdvPolluter:
+		return "polluter"
+	case AdvStaleHave:
+		return "stale_have"
+	case AdvSlowloris:
+		return "slowloris"
+	default:
+		return fmt.Sprintf("adversary(%d)", int(a))
 	}
 }
 
@@ -100,8 +169,10 @@ type GEModel struct {
 
 // Event is one scheduled fault. Node addresses the swarm's peers by
 // index (0 = seeder, 1..N = leechers) and is ignored for tracker
-// events. BytesPerSec is used only by KindLinkRate, Loss only by
-// KindBurstLoss, and Percent only by KindCorrupt.
+// events. BytesPerSec is used by KindLinkRate and the slowloris
+// adversary (trickle rate), Loss only by KindBurstLoss, Percent by
+// KindCorrupt and the polluter adversary, and Adversary only by
+// KindAdversary.
 type Event struct {
 	At          time.Duration
 	Kind        Kind
@@ -109,6 +180,7 @@ type Event struct {
 	BytesPerSec int64
 	Loss        GEModel
 	Percent     float64
+	Adversary   AdversaryKind
 }
 
 // Plan is a schedule of fault events. The zero value is the empty plan.
@@ -141,6 +213,8 @@ func (p Plan) Validate(maxNode int) error {
 	linkDown := map[int]bool{}
 	burst := map[int]bool{}
 	corrupt := map[int]bool{}
+	adversary := map[int]bool{}
+	duplicate := map[int]bool{}
 	trackerDown := false
 	for i, ev := range p.Sorted().Events {
 		if ev.At < 0 {
@@ -218,6 +292,40 @@ func (p Plan) Validate(maxNode int) error {
 				return fmt.Errorf("fault: corrupt_end node %d at %v without an open corruption window", ev.Node, ev.At)
 			}
 			corrupt[ev.Node] = false
+		case KindAdversary:
+			if adversary[ev.Node] {
+				return fmt.Errorf("fault: adversary node %d at %v while an adversary window is already open", ev.Node, ev.At)
+			}
+			switch ev.Adversary {
+			case AdvCorrupter, AdvStaleHave:
+				// No parameters.
+			case AdvPolluter:
+				if !(ev.Percent > 0 && ev.Percent <= 100) {
+					return fmt.Errorf("fault: polluter node %d at %v with percent %v outside (0, 100]", ev.Node, ev.At, ev.Percent)
+				}
+			case AdvSlowloris:
+				if ev.BytesPerSec <= 0 {
+					return fmt.Errorf("fault: slowloris node %d at %v with non-positive trickle rate %d", ev.Node, ev.At, ev.BytesPerSec)
+				}
+			default:
+				return fmt.Errorf("fault: adversary node %d at %v with invalid kind %d", ev.Node, ev.At, int(ev.Adversary))
+			}
+			adversary[ev.Node] = true
+		case KindAdversaryEnd:
+			if !adversary[ev.Node] {
+				return fmt.Errorf("fault: adversary_end node %d at %v without an open adversary window", ev.Node, ev.At)
+			}
+			adversary[ev.Node] = false
+		case KindDuplicate:
+			if duplicate[ev.Node] {
+				return fmt.Errorf("fault: duplicate node %d at %v while a duplication window is already open", ev.Node, ev.At)
+			}
+			duplicate[ev.Node] = true
+		case KindDuplicateEnd:
+			if !duplicate[ev.Node] {
+				return fmt.Errorf("fault: duplicate_end node %d at %v without an open duplication window", ev.Node, ev.At)
+			}
+			duplicate[ev.Node] = false
 		default:
 			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(ev.Kind))
 		}
@@ -240,6 +348,16 @@ func (p Plan) Validate(maxNode int) error {
 	for node, open := range corrupt {
 		if open {
 			return fmt.Errorf("fault: node %d corruption window never closes", node)
+		}
+	}
+	for node, open := range adversary {
+		if open {
+			return fmt.Errorf("fault: node %d adversary window never closes", node)
+		}
+	}
+	for node, open := range duplicate {
+		if open {
+			return fmt.Errorf("fault: node %d duplication window never closes", node)
 		}
 	}
 	if trackerDown {
@@ -344,5 +462,54 @@ func Corruption(node int, start, dur time.Duration, percent float64) Plan {
 	return Plan{Events: []Event{
 		{At: start, Kind: KindCorrupt, Node: node, Percent: percent},
 		{At: start + dur, Kind: KindCorruptEnd, Node: node},
+	}}
+}
+
+// Corrupter marks a node as a persistent corrupter for
+// [start, start+dur): every segment served FROM it during the window
+// fails verification at the requester.
+func Corrupter(node int, start, dur time.Duration) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindAdversary, Node: node, Adversary: AdvCorrupter},
+		{At: start + dur, Kind: KindAdversaryEnd, Node: node},
+	}}
+}
+
+// Polluter marks a node as an intermittent polluter for
+// [start, start+dur): each serve fails verification with probability
+// percent/100, drawn per attempt from PolluteDraw.
+func Polluter(node int, start, dur time.Duration, percent float64) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindAdversary, Node: node, Adversary: AdvPolluter, Percent: percent},
+		{At: start + dur, Kind: KindAdversaryEnd, Node: node},
+	}}
+}
+
+// StaleHaveLiar marks a node as a stale-have liar for
+// [start, start+dur): it advertises every segment but never serves a
+// byte, so requesters hang until their serve timeout.
+func StaleHaveLiar(node int, start, dur time.Duration) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindAdversary, Node: node, Adversary: AdvStaleHave},
+		{At: start + dur, Kind: KindAdversaryEnd, Node: node},
+	}}
+}
+
+// Slowloris marks a node as a slowloris for [start, start+dur): it
+// accepts requests and trickles bytes at trickleBytesPerSec, slow
+// enough that requesters hit their serve timeout mid-transfer.
+func Slowloris(node int, start, dur time.Duration, trickleBytesPerSec int64) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindAdversary, Node: node, Adversary: AdvSlowloris, BytesPerSec: trickleBytesPerSec},
+		{At: start + dur, Kind: KindAdversaryEnd, Node: node},
+	}}
+}
+
+// Duplication opens a duplicated-delivery window on a node for
+// [start, start+dur): every PIECE it serves is sent twice.
+func Duplication(node int, start, dur time.Duration) Plan {
+	return Plan{Events: []Event{
+		{At: start, Kind: KindDuplicate, Node: node},
+		{At: start + dur, Kind: KindDuplicateEnd, Node: node},
 	}}
 }

@@ -83,6 +83,18 @@ func TestValidateRejectsBrokenPlans(t *testing.T) {
 		{"node out of range", Merge(SeederOutage(0, time.Second), LinkFlap(9, 0, time.Second))},
 		{"negative time", SeederOutage(-time.Second, 500*time.Millisecond)},
 		{"zero link rate", Plan{Events: []Event{{At: 0, Kind: KindLinkRate, Node: 1}}}},
+		{"unclosed adversary", Plan{Events: []Event{{At: 0, Kind: KindAdversary, Node: 1, Adversary: AdvCorrupter}}}},
+		{"adversary end first", Plan{Events: []Event{{At: 0, Kind: KindAdversaryEnd, Node: 1}}}},
+		{"double adversary", Merge(Corrupter(1, 0, 5*time.Second), StaleHaveLiar(1, time.Second, time.Second))},
+		{"adversary none kind", Plan{Events: []Event{
+			{At: 0, Kind: KindAdversary, Node: 1, Adversary: AdvNone},
+			{At: time.Second, Kind: KindAdversaryEnd, Node: 1},
+		}}},
+		{"polluter zero percent", Polluter(1, 0, time.Second, 0)},
+		{"polluter over 100", Polluter(1, 0, time.Second, 101)},
+		{"slowloris zero trickle", Slowloris(1, 0, time.Second, 0)},
+		{"unclosed duplicate", Plan{Events: []Event{{At: 0, Kind: KindDuplicate, Node: 1}}}},
+		{"duplicate end first", Plan{Events: []Event{{At: 0, Kind: KindDuplicateEnd, Node: 1}}}},
 	}
 	for _, tc := range cases {
 		if err := tc.p.Validate(3); err == nil {
@@ -94,9 +106,76 @@ func TestValidateRejectsBrokenPlans(t *testing.T) {
 		TrackerOutage(500*time.Millisecond, time.Second),
 		LinkFlap(2, 0, 3*time.Second),
 		RateDip(1, time.Second, time.Second, 16<<10, 64<<10),
+		Corrupter(1, 0, 4*time.Second),
+		Polluter(2, time.Second, 2*time.Second, 60),
+		StaleHaveLiar(3, 0, time.Second),
+		Slowloris(3, 2*time.Second, time.Second, 1<<10),
+		Duplication(2, 0, 5*time.Second),
 	)
 	if err := ok.Validate(3); err != nil {
 		t.Fatalf("Validate rejected a well-formed plan: %v", err)
+	}
+}
+
+func TestAdversaryConstructorsAndNames(t *testing.T) {
+	p := Polluter(2, time.Second, 3*time.Second, 25)
+	if len(p.Events) != 2 {
+		t.Fatalf("Polluter produced %d events, want 2", len(p.Events))
+	}
+	open, close := p.Events[0], p.Events[1]
+	if open.Kind != KindAdversary || open.Adversary != AdvPolluter || open.Percent != 25 || open.Node != 2 {
+		t.Fatalf("bad polluter open event: %+v", open)
+	}
+	if close.Kind != KindAdversaryEnd || close.At != 4*time.Second {
+		t.Fatalf("bad polluter close event: %+v", close)
+	}
+	names := map[string]string{
+		KindAdversary.String():    "adversary_start",
+		KindAdversaryEnd.String(): "adversary_end",
+		KindDuplicate.String():    "duplicate_start",
+		KindDuplicateEnd.String(): "duplicate_end",
+		AdvCorrupter.String():     "corrupter",
+		AdvPolluter.String():      "polluter",
+		AdvStaleHave.String():     "stale_have",
+		AdvSlowloris.String():     "slowloris",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("String(): got %q want %q", got, want)
+		}
+	}
+}
+
+func TestPolluteDrawPureAndSensitive(t *testing.T) {
+	if PolluteDraw(1, 2, 3, 4, 5) != PolluteDraw(1, 2, 3, 4, 5) {
+		t.Fatal("PolluteDraw is not a pure function of its arguments")
+	}
+	base := PolluteDraw(1, 2, 3, 4, 5)
+	variants := []float64{
+		PolluteDraw(2, 2, 3, 4, 5), // seed
+		PolluteDraw(1, 3, 3, 4, 5), // src
+		PolluteDraw(1, 2, 4, 4, 5), // dst
+		PolluteDraw(1, 2, 3, 5, 5), // seg
+		PolluteDraw(1, 2, 3, 4, 6), // attempt
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d: draw insensitive to its key component", i)
+		}
+		if v < 0 || v >= 1 {
+			t.Errorf("variant %d: draw %v outside [0, 1)", i, v)
+		}
+	}
+	// Draws should be roughly uniform: over 1000 attempts at 60%%
+	// pollution, between 450 and 750 should fall under the threshold.
+	hits := 0
+	for a := 0; a < 1000; a++ {
+		if PolluteDraw(7, 1, 2, 3, a)*100 < 60 {
+			hits++
+		}
+	}
+	if hits < 450 || hits > 750 {
+		t.Fatalf("60%% pollution hit %d/1000 attempts — draw badly skewed", hits)
 	}
 }
 

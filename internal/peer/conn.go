@@ -229,6 +229,7 @@ func (c *conn) serveBlock(m *wire.Message) error {
 		}
 	}
 	c.lastServe = time.Now()
+	dup := n.serveDuplicate
 	n.mu.Unlock()
 
 	data, err := n.store.Block(int(m.Index), int(m.Offset), int(m.Length))
@@ -237,16 +238,24 @@ func (c *conn) serveBlock(m *wire.Message) error {
 		// peer; drop the connection rather than serve garbage.
 		return err
 	}
-	if err := c.send(&wire.Message{
-		Type:   wire.MsgPiece,
-		Index:  m.Index,
-		Offset: m.Offset,
-		Data:   data,
-	}); err != nil {
-		return err
+	sends := 1
+	if dup {
+		// Duplicated-delivery fault window: every PIECE goes out twice.
+		// The receiver's block ledger must count it once.
+		sends = 2
+	}
+	for i := 0; i < sends; i++ {
+		if err := c.send(&wire.Message{
+			Type:   wire.MsgPiece,
+			Index:  m.Index,
+			Offset: m.Offset,
+			Data:   data,
+		}); err != nil {
+			return err
+		}
 	}
 	n.mu.Lock()
-	n.stats.UploadedBytes += int64(len(data))
+	n.stats.UploadedBytes += int64(sends) * int64(len(data))
 	n.mu.Unlock()
 	return nil
 }

@@ -3,6 +3,7 @@ package peer
 import (
 	"time"
 
+	"p2psplice/internal/reputation"
 	"p2psplice/internal/trace"
 	"p2psplice/internal/wire"
 )
@@ -114,20 +115,34 @@ func (n *Node) poolTargetLocked() int {
 	return n.cfg.Policy.PoolSize(bandwidth, buffered, segBytes)
 }
 
-// pickConnLocked returns the connection to fetch idx from: among live
-// conns whose remote has the segment, the one with the fewest recorded
-// verification failures, ties broken by least busy. Closed conns are
-// skipped — a verify failure closes the serving conn, and until its
-// asynchronous dropConn runs the conn is still in n.conns, so without
-// the check the immediate reschedule re-picked the dead conn and the
-// segment stranded until the drop or the watchdog.
+// pickConnLocked returns the connection to fetch idx from: among live,
+// non-quarantined conns whose remote has the segment, the one with the
+// lowest decayed reputation score, ties broken by least busy. When every
+// candidate is quarantined a second pass re-admits them — the sole-source
+// escape hatch: a swarm whose remaining sources all misbehaved must still
+// drain rather than strand the segment. Closed conns are skipped — a
+// verify failure closes the serving conn, and until its asynchronous
+// dropConn runs the conn is still in n.conns, so without the check the
+// immediate reschedule re-picked the dead conn and the segment stranded
+// until the drop or the watchdog.
 func (n *Node) pickConnLocked(idx int) *conn {
 	busy := make(map[*conn]int)
 	for _, d := range n.active {
 		busy[d.conn]++
 	}
+	if c := n.pickConnPassLocked(idx, busy, false); c != nil {
+		return c
+	}
+	return n.pickConnPassLocked(idx, busy, true)
+}
+
+// pickConnPassLocked runs one selection pass over the connection set
+// (n.mu held); allowQuarantined opens the escape hatch.
+func (n *Node) pickConnPassLocked(idx int, busy map[*conn]int, allowQuarantined bool) *conn {
+	now := n.now()
 	var best *conn
-	bestBusy, bestFails := 0, 0
+	bestBusy := 0
+	bestScore := 0.0
 	for _, c := range n.conns {
 		if c.isClosed() || !c.remoteHas(idx) || c.remoteChoked() {
 			continue
@@ -135,10 +150,13 @@ func (n *Node) pickConnLocked(idx int) *conn {
 		if busy[c] >= n.cfg.MaxConcurrentPerConn {
 			continue
 		}
-		fails := n.verifyFailsBy[c.id]
-		if best == nil || fails < bestFails ||
-			(fails == bestFails && busy[c] < bestBusy) {
-			best, bestBusy, bestFails = c, busy[c], fails
+		if !allowQuarantined && n.rep.Quarantined(c.id, now) {
+			continue
+		}
+		score := n.rep.Score(c.id, now)
+		if best == nil || score < bestScore ||
+			(score == bestScore && busy[c] < bestBusy) {
+			best, bestBusy, bestScore = c, busy[c], score
 		}
 	}
 	return best
@@ -211,12 +229,12 @@ func (n *Node) onPiece(c *conn, m *wire.Message) {
 		n.cfg.Logf("peer %s: segment %d failed verification from %s: %v", n.peerID, idx, c.id, err)
 		n.mu.Lock()
 		n.stats.VerifyFailures++
-		// Remember the offender across reconnects: the peer ID, not the
-		// conn, is the stable identity a repeat corrupter keeps.
-		n.verifyFailsBy[c.id]++
 		n.mu.Unlock()
 		n.nm.verifyFails.Inc()
 		n.emitAt(n.now(), trace.CatSched, trace.EvVerifyFail, idx)
+		// Score the offender across reconnects: the peer ID, not the conn,
+		// is the stable identity a repeat corrupter keeps.
+		n.observePeer(c.id, reputation.ObsVerifyFail)
 		c.close()
 		n.schedule()
 		return
@@ -234,6 +252,15 @@ func (n *Node) onPiece(c *conn, m *wire.Message) {
 		n.schedule()
 		return
 	}
+	// A verified completion earns the server credit — unless it crawled in
+	// below the slow-serve floor (a polite slowloris that keeps beating the
+	// progress watchdog still gets charged).
+	obs := reputation.ObsSuccess
+	if floor := n.rep.Config().SlowServeBytesPerSec; floor > 0 && elapsed > 0 &&
+		float64(d.size)/elapsed.Seconds() < float64(floor) {
+		obs = reputation.ObsSlowServe
+	}
+	n.observePeer(c.id, obs)
 	n.nm.segsDone.Inc()
 	n.nm.segSeconds.ObserveDuration(elapsed)
 	n.nm.segBytes.Observe(int64(d.size))
@@ -273,6 +300,14 @@ func (n *Node) expireStalled() {
 		n.cfg.Logf("peer %s: segment %d timed out on %s", n.peerID, d.index, d.conn.id)
 		n.nm.expired.Inc()
 		n.emitAt(n.now(), trace.CatSched, trace.EvTimeout, d.index)
+		// Not a single block arrived: the remote advertised the segment and
+		// accepted the requests but served nothing — a stale HAVE, which
+		// scores harder than a transfer that died partway.
+		obs := reputation.ObsTimeout
+		if d.remaining == len(d.blocks) {
+			obs = reputation.ObsStaleHave
+		}
+		n.observePeer(d.conn.id, obs)
 		d.conn.close()
 	}
 	if len(stalled) > 0 {
@@ -280,5 +315,34 @@ func (n *Node) expireStalled() {
 		// ago), so the expired segments would otherwise stay unscheduled
 		// until something else happened to run the scheduler.
 		n.schedule()
+	}
+}
+
+// observePeer records one reputation observation about a remote peer and
+// traces the resulting penalty, quarantine, or probation clearance. The
+// CatRep events carry the peer ID as an argument: the node's own trace
+// stream has no per-event peer column (Event.Peer is the emulation's).
+func (n *Node) observePeer(id wire.PeerID, obs reputation.Observation) {
+	at := n.now()
+	n.mu.Lock()
+	up := n.rep.Observe(id, at, obs)
+	n.mu.Unlock()
+	if obs != reputation.ObsSuccess {
+		n.nm.repPenalties.Inc()
+		n.emitAt(at, trace.CatRep, trace.EvRepPenalty, -1,
+			trace.Str("peer", id.String()),
+			trace.Str("obs", obs.String()),
+			trace.Float64("score", up.Score))
+	}
+	if up.Cleared {
+		n.emitAt(at, trace.CatRep, trace.EvProbationClear, -1,
+			trace.Str("peer", id.String()))
+	}
+	if up.Quarantined {
+		n.nm.quarantines.Inc()
+		n.emitAt(at, trace.CatRep, trace.EvQuarantine, -1,
+			trace.Str("peer", id.String()),
+			trace.Float64("score", up.Score),
+			trace.Int64("until_us", up.Until.Microseconds()))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"p2psplice/internal/container"
 	"p2psplice/internal/core"
 	"p2psplice/internal/player"
+	"p2psplice/internal/reputation"
 	"p2psplice/internal/shaper"
 	"p2psplice/internal/trace"
 	"p2psplice/internal/tracker"
@@ -48,6 +49,12 @@ type Config struct {
 	Store SegmentStore
 	// DialTimeout bounds peer connection attempts. Defaults to 5s.
 	DialTimeout time.Duration
+	// Reputation configures per-peer scoring and quarantine: decaying
+	// penalties for verification failures, serve timeouts, stale HAVEs and
+	// slow serves, with probation re-admission (see internal/reputation).
+	// Nil means reputation.Default(). A zero-valued config keeps scoring
+	// but never quarantines.
+	Reputation *reputation.Config
 	// Logf receives debug logs. Nil disables logging.
 	Logf func(format string, args ...any)
 	// Trace receives structured events (schedule decisions, piece and
@@ -85,6 +92,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
+	}
+	if c.Reputation == nil {
+		d := reputation.Default()
+		c.Reputation = &d
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -125,23 +136,29 @@ type Node struct {
 	tr *trace.Tracer // immutable after construction; nil-safe
 	nm nodeMetrics   // immutable after construction; handles are no-ops without a registry
 
-	mu     sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers, dialState, verifyFailsBy, openStallAt and openStallCause
+	mu     sync.Mutex // guards conns, active, play, est, stats, servingConns, chokedWaiters, closed, trackerDown, cachedPeers, dialState, rep, serveDuplicate, openStallAt and openStallCause
 	conns  map[wire.PeerID]*conn
 	active map[int]*segDownload // in-flight segment downloads
-	// verifyFailsBy counts manifest-verification failures per remote peer
-	// ID. The scheduler deprioritizes repeat offenders, so a peer serving
-	// corrupt data (malicious or sitting behind a flipping link) cannot be
-	// re-picked over a clean source just because it is less busy.
-	verifyFailsBy map[wire.PeerID]int
+	// rep scores remote peers by ID — the stable identity a repeat
+	// offender keeps across reconnects. The scheduler deprioritizes high
+	// scores and skips quarantined peers, so a peer serving corrupt data
+	// or dangling stale HAVEs cannot capture the schedule just because it
+	// is less busy; decay and probation let a reformed (or misjudged)
+	// peer earn its way back, unlike the never-decaying failure count it
+	// replaces.
+	rep           *reputation.Table[wire.PeerID]
 	play          *player.Player // nil for seeders
 	est           *core.AggregateMeter
 	stats         Stats
 	servingConns  int     // occupied upload slots
 	chokedWaiters []*conn // FIFO of choked requesters awaiting a slot
 	closed        bool
-	trackerDown   bool                    // last announce failed; degraded to cachedPeers
-	cachedPeers   []tracker.PeerInfo      // last successful announce result
-	dialState     map[string]*dialBackoff // per-address reconnect backoff
+	// serveDuplicate, while set, makes serveBlock send every PIECE twice
+	// (the KindDuplicate fault): receivers must be idempotent.
+	serveDuplicate bool
+	trackerDown    bool                    // last announce failed; degraded to cachedPeers
+	cachedPeers    []tracker.PeerInfo      // last successful announce result
+	dialState      map[string]*dialBackoff // per-address reconnect backoff
 	// openStallAt/openStallCause track the in-progress stall so its full
 	// duration lands in the cause-labeled histogram at stall end.
 	openStallAt    time.Duration
@@ -285,25 +302,25 @@ func newNode(trk *tracker.Client, ih wire.InfoHash, m *container.Manifest, store
 		}
 	}
 	n := &Node{
-		cfg:           cfg,
-		trk:           trk,
-		infoHash:      ih,
-		peerID:        peerID,
-		manifest:      m,
-		store:         store,
-		seeder:        seeder,
-		started:       time.Now(),
-		tr:            cfg.Trace,
-		nm:            newNodeMetrics(cfg.Metrics, m.Splicing),
-		conns:         make(map[wire.PeerID]*conn),
-		active:        make(map[int]*segDownload),
-		dialState:     make(map[string]*dialBackoff),
-		verifyFailsBy: make(map[wire.PeerID]int),
-		play:          play,
-		est:           est,
-		completeC:     make(chan struct{}),
-		ctx:           ctx,
-		cancel:        cancel,
+		cfg:       cfg,
+		trk:       trk,
+		infoHash:  ih,
+		peerID:    peerID,
+		manifest:  m,
+		store:     store,
+		seeder:    seeder,
+		started:   time.Now(),
+		tr:        cfg.Trace,
+		nm:        newNodeMetrics(cfg.Metrics, m.Splicing),
+		conns:     make(map[wire.PeerID]*conn),
+		active:    make(map[int]*segDownload),
+		dialState: make(map[string]*dialBackoff),
+		rep:       reputation.NewTable[wire.PeerID](*cfg.Reputation),
+		play:      play,
+		est:       est,
+		completeC: make(chan struct{}),
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	if play != nil {
 		// Attached after the resume registrations above, so only post-join
@@ -374,6 +391,33 @@ func (n *Node) Stats() Stats {
 	st.SegmentsHeld = n.store.Count()
 	st.Connections = len(n.conns)
 	return st
+}
+
+// SetServeDuplication opens (on) or closes a duplicated-delivery fault
+// window: while open, serveBlock sends every PIECE twice. Wired to
+// fault.KindDuplicate by the fault harness; receivers must be idempotent
+// (blocks are counted once however often they arrive).
+func (n *Node) SetServeDuplication(on bool) {
+	n.mu.Lock()
+	changed := n.serveDuplicate != on
+	n.serveDuplicate = on
+	n.mu.Unlock()
+	if !changed {
+		return
+	}
+	name := trace.EvDuplicateEnd
+	if on {
+		name = trace.EvDuplicate
+	}
+	n.emitAt(n.now(), trace.CatFault, name, -1)
+}
+
+// Reputation snapshots the node's per-peer reputation table on the
+// playback clock (first-observation order).
+func (n *Node) Reputation() []reputation.PeerStats[wire.PeerID] {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rep.Snapshot(n.now())
 }
 
 // Done returns a channel closed when every segment has been downloaded.

@@ -2,16 +2,20 @@ package peer
 
 import (
 	"testing"
+	"time"
 
+	"p2psplice/internal/reputation"
 	"p2psplice/internal/wire"
 )
 
 func pickTestNode() *Node {
+	cfg := Config{}.withDefaults()
 	return &Node{
-		cfg:           Config{}.withDefaults(),
-		conns:         make(map[wire.PeerID]*conn),
-		active:        make(map[int]*segDownload),
-		verifyFailsBy: make(map[wire.PeerID]int),
+		cfg:     cfg,
+		started: time.Now(),
+		conns:   make(map[wire.PeerID]*conn),
+		active:  make(map[int]*segDownload),
+		rep:     reputation.NewTable[wire.PeerID](*cfg.Reputation),
 	}
 }
 
@@ -57,13 +61,14 @@ func TestPickConnSkipsClosedConns(t *testing.T) {
 
 // Regression: a peer that served corrupt data was re-picked over a clean
 // source whenever it was less busy, so a persistent corrupter (or a
-// malicious peer) could capture the schedule indefinitely. Recorded
-// verify failures now outrank busyness.
+// malicious peer) could capture the schedule indefinitely. A recorded
+// verify failure now raises the peer's reputation score, which outranks
+// busyness.
 func TestPickConnDeprioritizesVerifyFailers(t *testing.T) {
 	n := pickTestNode()
 	bad := pickTestConn(n, "EVIL-CONN-EVIL-CONN-", 4)
 	good := pickTestConn(n, "GOOD-CONN-GOOD-CONN-", 4)
-	n.verifyFailsBy[bad.id] = 1
+	n.rep.Observe(bad.id, n.now(), reputation.ObsVerifyFail)
 	// The clean conn is busier: pre-fix least-busy logic picked the
 	// corrupter.
 	n.active[1] = &segDownload{index: 1, conn: good}
@@ -72,21 +77,11 @@ func TestPickConnDeprioritizesVerifyFailers(t *testing.T) {
 	got := n.pickConnLocked(0)
 	n.mu.Unlock()
 	if got != good {
-		t.Fatal("pickConnLocked preferred a conn with recorded verify failures")
+		t.Fatal("pickConnLocked preferred a conn with a recorded verify failure")
 	}
 
-	// Busyness still breaks ties between equally-trusted conns.
-	n.verifyFailsBy[bad.id] = 0
-	n.mu.Lock()
-	got = n.pickConnLocked(0)
-	n.mu.Unlock()
-	if got != bad {
-		t.Fatal("with equal failure counts the least-busy conn must win")
-	}
-
-	// The failure count outranks busyness, but a failing conn is still a
-	// last resort when it is the only source.
-	n.verifyFailsBy[bad.id] = 3
+	// The score outranks busyness, but a failing conn is still a last
+	// resort when it is the only source.
 	delete(n.conns, good.id)
 	delete(n.active, 1)
 	n.mu.Lock()
@@ -94,5 +89,70 @@ func TestPickConnDeprioritizesVerifyFailers(t *testing.T) {
 	n.mu.Unlock()
 	if got != bad {
 		t.Fatal("a sole source must still be picked despite verify failures")
+	}
+}
+
+// Regression for the scoring half of the old verifyFailsBy map: failure
+// counts never decayed, so one long-ago verify failure deprioritized a
+// peer forever against busier alternatives. Scores now decay
+// exponentially (reputation.Config.DecayHalfLife); after enough quiet
+// time the offender competes on busyness again. Pre-fix this failed —
+// the map's count was permanent.
+func TestPickConnVerifyFailureDecays(t *testing.T) {
+	n := pickTestNode()
+	bad := pickTestConn(n, "EVIL-CONN-EVIL-CONN-", 4)
+	good := pickTestConn(n, "GOOD-CONN-GOOD-CONN-", 4)
+	n.rep.Observe(bad.id, n.now(), reputation.ObsVerifyFail)
+	n.active[1] = &segDownload{index: 1, conn: good}
+
+	n.mu.Lock()
+	got := n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != good {
+		t.Fatal("a fresh verify failure must deprioritize the offender")
+	}
+
+	// Ten quiet minutes (20 default half-lives): the score decays to the
+	// floor and snaps to zero, so least-busy wins again. The playback
+	// clock is advanced by backdating the node's start.
+	n.started = n.started.Add(-10 * time.Minute)
+	n.mu.Lock()
+	got = n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != bad {
+		t.Fatal("a decayed verify failure must not deprioritize the peer forever")
+	}
+}
+
+// Enough verify failures quarantine the conn outright: it loses to any
+// healthy source regardless of busyness, but remains reachable through
+// the second selection pass when it is the only source left (the
+// sole-source escape hatch).
+func TestPickConnQuarantineAndEscapeHatch(t *testing.T) {
+	n := pickTestNode()
+	bad := pickTestConn(n, "EVIL-CONN-EVIL-CONN-", 4)
+	good := pickTestConn(n, "GOOD-CONN-GOOD-CONN-", 4)
+	for i := 0; i < 3; i++ {
+		n.rep.Observe(bad.id, n.now(), reputation.ObsVerifyFail)
+	}
+	if !n.rep.Quarantined(bad.id, n.now()) {
+		t.Fatal("three verify failures at default costs must quarantine")
+	}
+	n.active[1] = &segDownload{index: 1, conn: good}
+
+	n.mu.Lock()
+	got := n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != good {
+		t.Fatal("pickConnLocked picked a quarantined conn over a healthy one")
+	}
+
+	delete(n.conns, good.id)
+	delete(n.active, 1)
+	n.mu.Lock()
+	got = n.pickConnLocked(0)
+	n.mu.Unlock()
+	if got != bad {
+		t.Fatal("escape hatch failed: a quarantined sole source must still be picked")
 	}
 }

@@ -25,6 +25,10 @@ type nodeMetrics struct {
 	// dials (post-backoff attempts included).
 	announceFails trace.Counter
 	dialFails     trace.Counter
+	// Reputation counters: penalties recorded against remote peers and
+	// quarantine windows opened.
+	repPenalties trace.Counter
+	quarantines  trace.Counter
 
 	// QoE/transport histograms (the distributions the paper's figures
 	// summarize, live on a real node). All are nil-safe no-ops without a
@@ -56,6 +60,8 @@ func newNodeMetrics(r *trace.Registry, scheme string) nodeMetrics {
 
 		announceFails: r.Counter("announce_failures"),
 		dialFails:     r.Counter("dial_failures"),
+		repPenalties:  r.Counter("rep_penalties"),
+		quarantines:   r.Counter("rep_quarantines"),
 	}
 	if r == nil {
 		return nm
@@ -137,6 +143,12 @@ func (n *Node) closeOpenStallLocked(at time.Duration) {
 // inspecting the download pool and connection set (n.mu held).
 func (n *Node) stallCauseLocked() string {
 	if len(n.active) > 0 {
+		// Every in-flight download rides a quarantined source: the
+		// escape hatch kept liveness, but the pool is degraded to its
+		// least-trusted serving set.
+		if n.allActiveQuarantinedLocked() {
+			return trace.CausePeerQuarantined
+		}
 		// Downloads are in flight but did not outrun the playhead.
 		return trace.CauseSlowFlow
 	}
@@ -150,12 +162,15 @@ func (n *Node) stallCauseLocked() string {
 	if next < 0 {
 		return trace.CauseSlowFlow // store complete; playhead will catch up
 	}
-	holders, choked := 0, 0
+	holders, choked, quarantined := 0, 0, 0
 	for _, c := range n.conns {
 		if c.remoteHas(next) {
 			holders++
 			if c.remoteChoked() {
 				choked++
+			}
+			if n.rep.Quarantined(c.id, n.now()) {
+				quarantined++
 			}
 		}
 	}
@@ -168,6 +183,11 @@ func (n *Node) stallCauseLocked() string {
 			return trace.CauseTrackerDown
 		}
 		return trace.CauseNoSource
+	case quarantined == holders:
+		// Holders exist but reputation has every one of them in
+		// quarantine: progress waits on probation or on the escape
+		// hatch's next pick.
+		return trace.CausePeerQuarantined
 	case choked == holders:
 		return trace.CauseChokedSources
 	default:
@@ -175,4 +195,16 @@ func (n *Node) stallCauseLocked() string {
 		// left the pool empty (the failure mode of the old scan budget).
 		return trace.CauseEmptyPool
 	}
+}
+
+// allActiveQuarantinedLocked reports whether every in-flight download's
+// source is quarantined right now (n.mu held).
+func (n *Node) allActiveQuarantinedLocked() bool {
+	now := n.now()
+	for _, d := range n.active {
+		if !n.rep.Quarantined(d.conn.id, now) {
+			return false
+		}
+	}
+	return len(n.active) > 0
 }

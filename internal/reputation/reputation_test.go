@@ -1,0 +1,167 @@
+package reputation
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestZeroConfigDisabledNeverQuarantines(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	tb := NewTable[int](Config{VerifyFailCost: 4})
+	for i := 0; i < 100; i++ {
+		up := tb.Observe(1, time.Duration(i)*time.Second, ObsVerifyFail)
+		if up.Quarantined || up.State == Quarantined {
+			t.Fatal("disabled config quarantined a peer")
+		}
+	}
+}
+
+func TestScoresAccumulateAndQuarantine(t *testing.T) {
+	cfg := Default()
+	tb := NewTable[string](cfg)
+	// Default: 4 per verify fail, threshold 10 → third failure trips it.
+	now := time.Second
+	var up Update
+	for i := 0; i < 3; i++ {
+		up = tb.Observe("evil", now, ObsVerifyFail)
+	}
+	if !up.Quarantined || up.State != Quarantined {
+		t.Fatalf("three rapid verify failures did not quarantine: %+v", up)
+	}
+	if want := now + cfg.QuarantineFor; up.Until != want {
+		t.Fatalf("quarantine until %v, want %v", up.Until, want)
+	}
+	if !tb.Quarantined("evil", now) {
+		t.Fatal("Quarantined read disagrees with update")
+	}
+	if tb.Quarantined("evil", up.Until) {
+		t.Fatal("still quarantined at window end")
+	}
+	if st := tb.State("evil", up.Until); st != Probation {
+		t.Fatalf("state after window = %v, want probation", st)
+	}
+	if tb.Quarantined("bystander", now) {
+		t.Fatal("unobserved peer is quarantined")
+	}
+}
+
+func TestDecayFullyRehabilitates(t *testing.T) {
+	cfg := Default()
+	tb := NewTable[int](cfg)
+	tb.Observe(1, 0, ObsVerifyFail)
+	s0 := tb.Score(1, 0)
+	if s0 != cfg.VerifyFailCost {
+		t.Fatalf("score after one failure = %v, want %v", s0, cfg.VerifyFailCost)
+	}
+	half := tb.Score(1, cfg.DecayHalfLife)
+	if half < s0*0.49 || half > s0*0.51 {
+		t.Fatalf("score after one half-life = %v, want ~%v", half, s0/2)
+	}
+	// Many half-lives later the score must snap to exactly zero so the
+	// peer ties a clean one.
+	if s := tb.Score(1, 100*cfg.DecayHalfLife); s != 0 {
+		t.Fatalf("score after 100 half-lives = %v, want exactly 0", s)
+	}
+	// Score reads must not mutate: an Observe at that instant sees the
+	// same decayed base.
+	up := tb.Observe(1, 100*cfg.DecayHalfLife, ObsVerifyFail)
+	if up.Score != cfg.VerifyFailCost {
+		t.Fatalf("post-decay failure score = %v, want %v", up.Score, cfg.VerifyFailCost)
+	}
+}
+
+func TestSuccessRewardAndProbationClear(t *testing.T) {
+	cfg := Default()
+	cfg.DecayHalfLife = 0 // isolate the reward/probation arithmetic
+	tb := NewTable[int](cfg)
+	tb.Observe(1, 0, ObsVerifyFail)
+	up := tb.Observe(1, 0, ObsSuccess)
+	if up.Score != cfg.VerifyFailCost-cfg.SuccessReward {
+		t.Fatalf("score after success = %v, want %v", up.Score, cfg.VerifyFailCost-cfg.SuccessReward)
+	}
+	// Drive into quarantine, exit the window, then clear via probation.
+	entered := false
+	for i := 0; i < 3; i++ {
+		up = tb.Observe(1, 0, ObsVerifyFail)
+		entered = entered || up.Quarantined
+	}
+	if !entered || up.State != Quarantined {
+		t.Fatalf("expected quarantine, got %+v", up)
+	}
+	after := up.Until
+	for i := 0; i < cfg.ProbationSuccesses; i++ {
+		if tb.State(1, after) != Probation {
+			t.Fatalf("success %d: state %v, want probation", i, tb.State(1, after))
+		}
+		up = tb.Observe(1, after, ObsSuccess)
+	}
+	if !up.Cleared || up.Score != 0 || up.State != Healthy {
+		t.Fatalf("probation did not clear: %+v", up)
+	}
+}
+
+func TestPenaltyDuringProbationRequarantines(t *testing.T) {
+	cfg := Default()
+	cfg.DecayHalfLife = 0
+	tb := NewTable[int](cfg)
+	var up Update
+	for i := 0; i < 3; i++ {
+		up = tb.Observe(1, 0, ObsVerifyFail)
+	}
+	after := up.Until
+	// Score is 12 ≥ threshold 10; one more failure on probation must
+	// reopen the window immediately.
+	up = tb.Observe(1, after, ObsVerifyFail)
+	if !up.Quarantined || up.Until != after+cfg.QuarantineFor {
+		t.Fatalf("probation penalty did not re-quarantine: %+v", up)
+	}
+	snap := tb.Snapshot(after)
+	if len(snap) != 1 || snap[0].Quarantines != 2 {
+		t.Fatalf("expected 2 quarantine windows in snapshot, got %+v", snap)
+	}
+}
+
+func TestSnapshotDeterministicInsertionOrder(t *testing.T) {
+	run := func() []PeerStats[int] {
+		tb := NewTable[int](Default())
+		for _, k := range []int{5, 2, 9, 2, 5, 7} {
+			tb.Observe(k, time.Second, ObsVerifyFail)
+		}
+		tb.Observe(9, 2*time.Second, ObsSuccess)
+		return tb.Snapshot(3 * time.Second)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical observation sequences produced different snapshots")
+	}
+	wantOrder := []int{5, 2, 9, 7}
+	for i, ps := range a {
+		if ps.Key != wantOrder[i] {
+			t.Fatalf("snapshot order %v, want first-observation order %v", a, wantOrder)
+		}
+	}
+	if a[0].Penalties != 2 || a[2].Successes != 1 {
+		t.Fatalf("snapshot counters wrong: %+v", a)
+	}
+}
+
+func TestObservationAndStateNames(t *testing.T) {
+	names := map[string]string{
+		ObsSuccess.String():    "success",
+		ObsVerifyFail.String(): "verify_fail",
+		ObsStaleHave.String():  "stale_have",
+		ObsSlowServe.String():  "slow_serve",
+		ObsTimeout.String():    "timeout",
+		Healthy.String():       "healthy",
+		Probation.String():     "probation",
+		Quarantined.String():   "quarantined",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("String(): got %q want %q", got, want)
+		}
+	}
+}

@@ -50,6 +50,14 @@ func (s *swarm) compileFaults() error {
 			s.eng.At(ev.At, func() { s.setCorrupt(s.peers[ev.Node], ev.Percent) })
 		case fault.KindCorruptEnd:
 			s.eng.At(ev.At, func() { s.setCorrupt(s.peers[ev.Node], 0) })
+		case fault.KindAdversary:
+			s.eng.At(ev.At, func() { s.setAdversary(s.peers[ev.Node], ev) })
+		case fault.KindAdversaryEnd:
+			s.eng.At(ev.At, func() { s.clearAdversary(s.peers[ev.Node]) })
+		case fault.KindDuplicate:
+			s.eng.At(ev.At, func() { s.setDuplicate(s.peers[ev.Node], true) })
+		case fault.KindDuplicateEnd:
+			s.eng.At(ev.At, func() { s.setDuplicate(s.peers[ev.Node], false) })
 		}
 	}
 	return nil
@@ -166,6 +174,50 @@ func (s *swarm) setCorrupt(p *peerState, pct float64) {
 	p.corruptPct = 0
 	p.corruptEndAt = s.eng.Now()
 	s.emit(p.id, -1, trace.CatFault, trace.EvCorruptEnd)
+}
+
+// setAdversary opens an adversary window on a peer: it misbehaves AS A
+// SOURCE per ev.Adversary until the window closes. The flag is sticky
+// (adversarial) so collection can exclude the peer's own playback from
+// honest-swarm samples. Stale-have/slowloris windows change apparent
+// availability (the liar now claims every segment), so every pool is
+// refilled — that is the lure.
+func (s *swarm) setAdversary(p *peerState, ev fault.Event) {
+	p.advKind = ev.Adversary
+	p.advPct = ev.Percent
+	p.advTrickle = ev.BytesPerSec
+	p.advStartAt = s.eng.Now()
+	p.adversarial = true
+	s.emit(p.id, -1, trace.CatFault, trace.EvAdversary,
+		trace.Str("kind", ev.Adversary.String()),
+		trace.Float64("percent", ev.Percent),
+		trace.Int64("trickle", ev.BytesPerSec))
+	s.fillAll()
+}
+
+// clearAdversary closes the window: the peer serves honestly again.
+// Pending downloads against it still die by serve timeout (the victims
+// cannot know the liar reformed), but new requests complete normally.
+func (s *swarm) clearAdversary(p *peerState) {
+	p.advKind = fault.AdvNone
+	p.advPct = 0
+	p.advTrickle = 0
+	p.advEndAt = s.eng.Now()
+	s.emit(p.id, -1, trace.CatFault, trace.EvAdversaryEnd)
+	s.fillAll()
+}
+
+// setDuplicate opens or closes a duplicated-delivery window. Per-packet
+// duplication is below the fluid flow model's granularity — receivers
+// in the emulation are trivially idempotent — so the window is traced
+// for timeline parity with the real stack (where serveBlock really does
+// send every PIECE twice) without behavioral effect here.
+func (s *swarm) setDuplicate(p *peerState, on bool) {
+	name := trace.EvDuplicateEnd
+	if on {
+		name = trace.EvDuplicate
+	}
+	s.emit(p.id, -1, trace.CatFault, name)
 }
 
 // setTracker starts or ends a tracker outage. Peers already in the

@@ -17,11 +17,15 @@ import (
 //	sim_segment_download_seconds{scheme=...} per-segment transfer latency
 //	sim_segment_bytes{scheme="..."}          per-segment wire size
 //	sim_pool_size_k                          Eq. 1 pool-size decisions
+//	sim_rep_penalties_total                  reputation penalty observations
+//	sim_quarantines_total                    quarantine windows opened
 type simMetrics struct {
-	startup    trace.Histogram
-	segSeconds trace.Histogram
-	segBytes   trace.Histogram
-	poolK      trace.Histogram
+	startup      trace.Histogram
+	segSeconds   trace.Histogram
+	segBytes     trace.Histogram
+	poolK        trace.Histogram
+	repPenalties trace.Counter
+	quarantines  trace.Counter
 	// stall maps each attributable cause to its labeled histogram. The
 	// cause set is closed (trace.Cause*), so every series is registered
 	// up front: no lazy registration on the recording path.
@@ -43,12 +47,16 @@ func newSimMetrics(reg *trace.Registry, scheme string) simMetrics {
 	reg.SetHelp("sim_segment_download_seconds", "Per-segment transfer latency.")
 	reg.SetHelp("sim_segment_bytes", "Per-segment wire size.")
 	reg.SetHelp("sim_pool_size_k", "Equation 1 pool-size decisions.")
+	reg.SetHelp("sim_rep_penalties_total", "Reputation penalty observations recorded.")
+	reg.SetHelp("sim_quarantines_total", "Quarantine windows opened on peers.")
 	m := simMetrics{
-		startup:    reg.SecondsHistogram("sim_startup_seconds"),
-		segSeconds: reg.SecondsHistogram("sim_segment_download_seconds" + schemeLabel),
-		segBytes:   reg.Histogram("sim_segment_bytes" + schemeLabel),
-		poolK:      reg.Histogram("sim_pool_size_k"),
-		stall:      make(map[string]trace.Histogram, 8),
+		startup:      reg.SecondsHistogram("sim_startup_seconds"),
+		segSeconds:   reg.SecondsHistogram("sim_segment_download_seconds" + schemeLabel),
+		segBytes:     reg.Histogram("sim_segment_bytes" + schemeLabel),
+		poolK:        reg.Histogram("sim_pool_size_k"),
+		repPenalties: reg.Counter("sim_rep_penalties_total"),
+		quarantines:  reg.Counter("sim_quarantines_total"),
+		stall:        make(map[string]trace.Histogram, 8),
 	}
 	for _, cause := range trace.StallCauses() {
 		m.stall[cause] = reg.SecondsHistogram(`sim_stall_seconds{cause="` + cause + `"}`)

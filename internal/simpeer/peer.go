@@ -9,6 +9,7 @@ import (
 	"p2psplice/internal/fault"
 	"p2psplice/internal/netem"
 	"p2psplice/internal/player"
+	"p2psplice/internal/reputation"
 	"p2psplice/internal/trace"
 )
 
@@ -69,6 +70,18 @@ type peerState struct {
 	// a discarded segment gets a fresh deterministic corruption draw
 	// (a fixed per-segment draw would livelock at high percentages).
 	segAttempts map[int]int
+	// Adversary window state (fault plans only). advKind != AdvNone while
+	// a window is open on this peer — misbehavior AS A SOURCE: corrupter
+	// and polluter serves fail verification at the requester, stale-have
+	// and slowloris serves hang as pending downloads until the serve
+	// timeout. adversarial is sticky so collection can exclude the peer's
+	// own playback from honest-swarm samples.
+	advKind     fault.AdversaryKind
+	advPct      float64 // polluter corruption probability, percent
+	advTrickle  int64   // slowloris advertised trickle rate (trace metadata)
+	advStartAt  time.Duration
+	advEndAt    time.Duration
+	adversarial bool
 	// Burst-loss window observations. Observer-owned like openStall*:
 	// written only by onLossState (attached only when tracing or
 	// metering) and read only by stall attribution, never by scheduling.
@@ -102,9 +115,13 @@ type peerState struct {
 }
 
 // download is one in-flight segment transfer with its chosen source.
+// flow is nil for a pending adversary serve (stale-have or slowloris):
+// no bytes move, and the entry is reaped by the serve-timeout event;
+// pending records which adversary kind opened it, for attribution.
 type download struct {
-	flow *netem.Flow
-	src  *peerState
+	flow    *netem.Flow
+	src     *peerState
+	pending fault.AdversaryKind
 }
 
 // bandwidth returns the B fed into the pooling policy.
@@ -210,6 +227,12 @@ func (s *swarm) uploadSlots() int {
 // 1.0 for a full holder, the download progress for a relaying leecher, and
 // -1 if q cannot serve the segment at all.
 func (s *swarm) sourceProgress(q *peerState, idx int) float64 {
+	// A stale-have liar (or slowloris) claims every segment while its
+	// window is open — that is the attack: requesters believe the HAVE
+	// and assign it downloads that will only die by serve timeout.
+	if q.advKind == fault.AdvStaleHave || q.advKind == fault.AdvSlowloris {
+		return 1
+	}
 	if q.have[idx] {
 		return 1
 	}
@@ -217,7 +240,7 @@ func (s *swarm) sourceProgress(q *peerState, idx int) float64 {
 		return -1
 	}
 	d, ok := q.inFlight[idx]
-	if !ok {
+	if !ok || d.flow == nil {
 		return -1
 	}
 	size := d.flow.Size()
@@ -244,8 +267,15 @@ const defaultRelayThreshold = 0.02
 const sourceRetryDelay = 250 * time.Millisecond
 
 // eligible reports whether q can serve segment idx to p right now.
-func (s *swarm) eligible(p, q *peerState, idx int) bool {
+// allowQuarantined opens the sole-source escape hatch: the second
+// selection pass considers quarantined sources rather than sacrifice
+// liveness (a fully quarantined swarm must still drain off its one
+// honest seeder — or, at worst, off the quarantined peers themselves).
+func (s *swarm) eligible(p, q *peerState, idx int, allowQuarantined bool) bool {
 	if q == p || q.departed || q.crashed || s.net.LinkIsDown(q.node) {
+		return false
+	}
+	if !allowQuarantined && s.rep != nil && s.rep.Quarantined(q.id, s.eng.Now()) {
 		return false
 	}
 	if s.sourceProgress(q, idx) < 0 {
@@ -260,21 +290,39 @@ func (s *swarm) eligible(p, q *peerState, idx int) bool {
 	return q.uploading[idx] == 0
 }
 
-// pickSource chooses the uploader for segment idx: the previous source if it
-// is still eligible (stable unchoke relationships keep the distribution
+// pickSource chooses the uploader for segment idx: non-quarantined swarm
+// sources first, then the CDN fallback, then — only when reputation is
+// active and nothing else can serve — quarantined sources (the liveness
+// escape hatch). With reputation disabled this is exactly the legacy
+// selection.
+func (s *swarm) pickSource(p *peerState, idx int) *peerState {
+	if src := s.pickSourceFrom(p, idx, false); src != nil {
+		return src
+	}
+	if s.cdn != nil && s.cdnEligible(p) {
+		return s.cdn
+	}
+	if s.rep != nil {
+		return s.pickSourceFrom(p, idx, true)
+	}
+	return nil
+}
+
+// pickSourceFrom runs one selection pass: the previous source if it is
+// still eligible (stable unchoke relationships keep the distribution
 // chain, and every peer's pipeline depth in it, steady across segments),
 // otherwise the least-loaded eligible source, ties broken by higher relay
 // progress and then by lowest peer ID (deterministic). The CDN, when
 // configured, is a fallback only: swarm sources offload it (the paper's
 // hybrid architecture serves "by peers as well as a CDN").
-func (s *swarm) pickSource(p *peerState, idx int) *peerState {
-	if p.lastSrc != nil && !p.lastSrc.isCDN && s.eligible(p, p.lastSrc, idx) {
+func (s *swarm) pickSourceFrom(p *peerState, idx int, allowQuarantined bool) *peerState {
+	if p.lastSrc != nil && !p.lastSrc.isCDN && s.eligible(p, p.lastSrc, idx, allowQuarantined) {
 		return p.lastSrc
 	}
 	var best *peerState
 	var bestProgress float64
 	for _, q := range s.peers {
-		if !s.eligible(p, q, idx) {
+		if !s.eligible(p, q, idx, allowQuarantined) {
 			continue
 		}
 		progress := s.sourceProgress(q, idx)
@@ -283,13 +331,7 @@ func (s *swarm) pickSource(p *peerState, idx int) *peerState {
 			best, bestProgress = q, progress
 		}
 	}
-	if best != nil {
-		return best
-	}
-	if s.cdn != nil && s.cdnEligible(p) {
-		return s.cdn
-	}
-	return nil
+	return best
 }
 
 // cdnEligible enforces the paper's hybrid rule: a client downloads at most
@@ -393,6 +435,24 @@ func (s *swarm) startDownload(p, src *peerState, idx int) {
 	}
 	src.uploads++
 	src.uploading[idx]++
+	// A stale-have or slowloris source accepted the request but will never
+	// deliver the segment inside the serve timeout: model the hang as a
+	// pending download with no netem flow, reaped by a scheduled timeout.
+	// (A slowloris trickles real bytes, but a trickle that cannot finish
+	// before the timeout is indistinguishable from silence in the fluid
+	// model; the trickle rate is trace metadata.)
+	if src.advKind == fault.AdvStaleHave || src.advKind == fault.AdvSlowloris {
+		d := &download{src: src, pending: src.advKind}
+		p.inFlight[idx] = d
+		p.lastSrc = src
+		if s.cfg.Tracer.Enabled() {
+			s.emit(p.id, idx, trace.CatPool, trace.EvSourcePick,
+				trace.Int64("flow", -1),
+				trace.Int64("src", int64(src.id)))
+		}
+		s.eng.Schedule(s.serveTimeout(), func() { s.onServeTimeout(p, src, idx, d) })
+		return
+	}
 	opts := netem.TransferOptions{ReuseConnection: !s.cfg.FreshConnectionPerSegment}
 	flow, err := s.net.StartTransfer(src.node, p.node, s.segs[idx].Bytes, opts,
 		func(f *netem.Flow) { s.onDownloadComplete(p, src, idx, f) })
@@ -406,6 +466,46 @@ func (s *swarm) startDownload(p, src *peerState, idx int) {
 		s.emit(p.id, idx, trace.CatPool, trace.EvSourcePick,
 			trace.Int64("flow", int64(flow.ID())),
 			trace.Int64("src", int64(src.id)))
+	}
+}
+
+// defaultServeTimeout bounds how long a pending request may hang before
+// the requester gives up on the source — behavior that exists with or
+// without reputation (otherwise a stale-have liar would pin its victims
+// forever).
+const defaultServeTimeout = 4 * time.Second
+
+// serveTimeout resolves the pending-request timeout.
+func (s *swarm) serveTimeout() time.Duration {
+	if s.cfg.Reputation != nil && s.cfg.Reputation.ServeTimeout > 0 {
+		return s.cfg.Reputation.ServeTimeout
+	}
+	return defaultServeTimeout
+}
+
+// onServeTimeout reaps a pending download whose source never delivered:
+// the segment returns to the pool, the source is charged (stale-have for
+// a silent liar, slow-serve for a slowloris trickle), and the requester
+// refills immediately.
+func (s *swarm) onServeTimeout(p, src *peerState, idx int, d *download) {
+	if p.inFlight[idx] != d {
+		return // already reaped by crash/departure teardown
+	}
+	delete(p.inFlight, idx)
+	src.uploads--
+	src.uploading[idx]--
+	if s.cfg.Tracer.Enabled() {
+		s.emit(p.id, idx, trace.CatPool, trace.EvServeTimeout,
+			trace.Int64("src", int64(src.id)),
+			trace.Str("kind", d.pending.String()))
+	}
+	obs := reputation.ObsStaleHave
+	if d.pending == fault.AdvSlowloris {
+		obs = reputation.ObsSlowServe
+	}
+	s.observeRep(src, obs)
+	if !p.departed && !p.crashed {
+		s.fill(p)
 	}
 }
 
@@ -442,24 +542,39 @@ func (s *swarm) onDownloadComplete(p, src *peerState, idx int, f *netem.Flow) {
 	// is fetched again. Whether THIS attempt is corrupted is a pure hash
 	// of (seed, peer, segment, attempt) — see fault.CorruptDraw — so the
 	// outcome is identical across runs and -workers values and consumes
-	// no engine randomness.
-	if p.corruptPct > 0 && !p.have[idx] {
+	// no engine randomness. An adversarial source fails verification the
+	// same way: always for a corrupter, per-attempt via the equally pure
+	// fault.PolluteDraw for a polluter. Either way the requester's
+	// inference is the same — "this source served me garbage" — so the
+	// source is charged a reputation verify-fail.
+	advSrc := src.advKind == fault.AdvCorrupter || src.advKind == fault.AdvPolluter
+	if (p.corruptPct > 0 || advSrc) && !p.have[idx] {
 		attempt := p.segAttempts[idx]
 		p.segAttempts[idx] = attempt + 1
-		if fault.CorruptDraw(s.cfg.Seed, p.id, idx, attempt)*100 < p.corruptPct {
+		discard := false
+		if p.corruptPct > 0 && fault.CorruptDraw(s.cfg.Seed, p.id, idx, attempt)*100 < p.corruptPct {
+			discard = true
 			p.corruptDiscards++
 			p.lastDiscardAt = now
+		}
+		if !discard && advSrc {
+			discard = src.advKind == fault.AdvCorrupter ||
+				fault.PolluteDraw(s.cfg.Seed, src.id, p.id, idx, attempt)*100 < src.advPct
+		}
+		if discard {
 			if s.cfg.Tracer.Enabled() {
 				s.emit(p.id, idx, trace.CatPool, trace.EvVerifyFail,
 					trace.Int64("attempt", int64(attempt)),
 					trace.Int64("src", int64(src.id)))
 			}
+			s.observeRep(src, reputation.ObsVerifyFail)
 			// Not a completion: no segment metrics, no have/player update.
 			// Refill so the re-request launches immediately.
 			s.fill(p)
 			return
 		}
 	}
+	s.observeRepSuccess(src, f)
 	s.sm.segSeconds.ObserveDuration(f.Elapsed())
 	s.sm.segBytes.Observe(f.Size())
 	if s.cfg.Tracer.Enabled() {

@@ -14,6 +14,7 @@ import (
 	"p2psplice/internal/metrics"
 	"p2psplice/internal/netem"
 	"p2psplice/internal/player"
+	"p2psplice/internal/reputation"
 	"p2psplice/internal/sim"
 	"p2psplice/internal/topology"
 	"p2psplice/internal/trace"
@@ -139,6 +140,14 @@ type SwarmConfig struct {
 	// schedules nothing: the run is bit-identical to one without the
 	// fault layer, which the golden tests enforce.
 	Faults fault.Plan
+	// Reputation optionally enables the deterministic per-peer scoring and
+	// quarantine subsystem (internal/reputation): misbehavior observed on
+	// downloads — verify failures, serve timeouts, slow serves — demotes
+	// and eventually quarantines the offending source, with decay and
+	// probation re-admission, and a sole-source escape hatch preserving
+	// liveness. Nil (or a disabled config) keeps legacy source selection
+	// bit-identical — the inertness tests enforce it.
+	Reputation *reputation.Config
 	// RetryBackoff optionally replaces the fixed source-retry delay with
 	// capped exponential backoff and deterministic jitter (hashed from
 	// seed, peer, and attempt — never the engine RNG). The zero value
@@ -234,7 +243,10 @@ type PeerResult struct {
 	Departed bool
 	// Crashes counts how many times an injected fault took this peer down.
 	Crashes int
-	Metrics player.Metrics
+	// Adversarial marks a peer that ran an injected adversary window at
+	// any point: its playback is not a measurement of the honest swarm.
+	Adversarial bool
+	Metrics     player.Metrics
 }
 
 // Result is the outcome of one emulated run.
@@ -253,6 +265,9 @@ type Result struct {
 	// Crashed counts leechers that suffered at least one injected crash
 	// (and did not also depart).
 	Crashed int
+	// Adversarial counts leechers excluded from Samples because they ran
+	// an adversary window (their playback measures nothing honest).
+	Adversarial int
 }
 
 // Summary aggregates the non-departed samples.
@@ -320,6 +335,9 @@ type swarm struct {
 	// defer into the queue below until recovery drains it.
 	trackerDown bool
 	deferred    []func()
+	// rep is the per-peer reputation table, or nil when the subsystem is
+	// disabled (the legacy-selection path).
+	rep *reputation.Table[int]
 }
 
 // nodePlan resolves the per-node link parameters, either from the scalar
@@ -357,6 +375,9 @@ func (s *swarm) nodePlan() (seeder netem.NodeConfig, leechers, traffic []netem.N
 }
 
 func (s *swarm) setup() error {
+	if s.cfg.Reputation != nil && s.cfg.Reputation.Enabled() {
+		s.rep = reputation.NewTable[int](*s.cfg.Reputation)
+	}
 	if s.cfg.Tracer.Enabled() || s.cfg.Metrics != nil {
 		// Pure listeners: they observe without feeding anything back into
 		// the simulation. The loss-state observer (and the node→peer map
@@ -457,8 +478,12 @@ func (s *swarm) setup() error {
 			player:    pl,
 			inFlight:  make(map[int]*download),
 			uploading: make(map[int]int),
-			est:       est,
-			estGuess:  guess,
+			// Pre-allocated (not lazily, as setCorrupt does) because any
+			// peer can become the victim of an adversarial source and needs
+			// per-segment attempt counters for its pollution draws.
+			segAttempts: make(map[int]int),
+			est:         est,
+			estGuess:    guess,
 		}
 		s.peers = append(s.peers, p)
 
@@ -556,13 +581,24 @@ func (s *swarm) cancelPeerFlows(p *peerState) {
 	// order influences event sequencing, which must stay deterministic.
 	for _, idx := range sortedKeys(p.inFlight) {
 		d := p.inFlight[idx]
-		d.flow.Cancel()
+		if d.flow != nil { // pending adversary serves have no flow
+			d.flow.Cancel()
+		}
 		d.src.uploads--
 		d.src.uploading[idx]--
 		delete(p.inFlight, idx)
 	}
 	// Abort uploads served by this peer: every other leecher loses any
 	// in-flight download sourced here and will re-request elsewhere.
+	s.cancelUploadsFrom(p)
+}
+
+// cancelUploadsFrom aborts every in-flight download sourced from p,
+// returning the affected segments to their requesters' pools. Shared by
+// crash/departure teardown and quarantine enforcement (a just-
+// quarantined source should not keep serving what selectors would no
+// longer assign it).
+func (s *swarm) cancelUploadsFrom(p *peerState) {
 	for _, q := range s.peers[1:] {
 		if q == p || q.departed {
 			continue
@@ -570,7 +606,9 @@ func (s *swarm) cancelPeerFlows(p *peerState) {
 		for _, idx := range sortedKeys(q.inFlight) {
 			d := q.inFlight[idx]
 			if d.src == p {
-				d.flow.Cancel()
+				if d.flow != nil {
+					d.flow.Cancel()
+				}
 				delete(q.inFlight, idx)
 				p.uploads--
 				p.uploading[idx]--
@@ -602,13 +640,19 @@ func (s *swarm) collect() *Result {
 	res := &Result{EndTime: end}
 	for _, p := range s.peers[1:] {
 		m := p.player.Metrics(horizon)
-		res.Peers = append(res.Peers, PeerResult{Peer: p.id, Departed: p.departed, Crashes: p.crashes, Metrics: m})
+		res.Peers = append(res.Peers, PeerResult{Peer: p.id, Departed: p.departed, Crashes: p.crashes, Adversarial: p.adversarial, Metrics: m})
 		if p.departed {
 			res.Departed++
 			continue
 		}
 		if p.crashes > 0 {
 			res.Crashed++
+			continue
+		}
+		if p.adversarial {
+			// An adversary's own playback measures nothing about the honest
+			// swarm (it may even be self-sabotaged); keep it out of Samples.
+			res.Adversarial++
 			continue
 		}
 		res.Samples = append(res.Samples, metrics.PlaybackSample{

@@ -3,6 +3,7 @@ package simpeer
 import (
 	"time"
 
+	"p2psplice/internal/fault"
 	"p2psplice/internal/netem"
 	"p2psplice/internal/player"
 	"p2psplice/internal/trace"
@@ -168,7 +169,8 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 		return trace.CauseCorruptSegment, inflight, 0
 	}
 	if inflight == 0 {
-		if next := s.nextWanted(p); next >= 0 && s.holderCount(next) == 0 {
+		next := s.nextWanted(p)
+		if next >= 0 && s.holderCount(next) == 0 {
 			if s.trackerDown {
 				// No live holder and no tracker to discover one through:
 				// the tracker is the binding constraint, whatever took the
@@ -181,6 +183,12 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 			}
 			return trace.CauseNoSource, 0, 0
 		}
+		if s.rep != nil && next >= 0 && s.allHoldersQuarantined(p, next, at) {
+			// Holders exist but the reputation subsystem has every one of
+			// them in quarantine: progress waits on probation or on the
+			// sole-source escape hatch's next retry.
+			return trace.CausePeerQuarantined, 0, 0
+		}
 		if p.retryPending {
 			// Sources exist but none was eligible (upload slots full, relay
 			// threshold not crossed); the peer is waiting out a retry.
@@ -190,8 +198,29 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 		// left the pool empty.
 		return trace.CauseEmptyPool, 0, 0
 	}
+	// Pending adversary serves have no flow: if nothing else is moving
+	// either, the peer is hung on sources that accepted requests and are
+	// serving nothing (stale-have) or a useless trickle (slowloris).
+	pending, trickling := 0, 0
+	for _, d := range p.inFlight {
+		if d.flow == nil {
+			pending++
+			if d.pending == fault.AdvSlowloris {
+				trickling++
+			}
+		}
+	}
+	if pending == inflight {
+		if trickling > 0 {
+			return trace.CauseSlowServe, inflight, 0
+		}
+		return trace.CauseStaleHave, inflight, 0
+	}
 	linkDown := 0
 	for _, d := range p.inFlight {
+		if d.flow == nil {
+			continue
+		}
 		if d.flow.Frozen() {
 			frozen++
 		}
@@ -199,13 +228,19 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 			linkDown++
 		}
 	}
-	if linkDown == inflight {
+	if linkDown > 0 && linkDown == inflight-pending {
 		// Every in-flight download rides a downed link (the sources'
 		// side — the peer's own link was handled above).
 		return trace.CauseLinkDown, inflight, frozen
 	}
 	if frozen > 0 {
 		return trace.CauseFrozenFlow, inflight, frozen
+	}
+	if s.rep != nil && s.allInFlightSourcesQuarantined(p, at) {
+		// Every moving download comes from a quarantined source — the
+		// escape hatch kept liveness, but the swarm is degraded to its
+		// least-trusted serving set.
+		return trace.CausePeerQuarantined, inflight, frozen
 	}
 	// Burst loss: the peer's own access link, or the link of a source
 	// serving one of its in-flight downloads, is (or was, at the stall's
@@ -221,4 +256,34 @@ func (s *swarm) classifyStall(p *peerState, at time.Duration) (cause string, inf
 		}
 	}
 	return trace.CauseSlowFlow, inflight, 0
+}
+
+// allHoldersQuarantined reports whether segment idx has at least one
+// live holder and every live holder was quarantined at the stall's
+// timestamp. Pure reads only (Table.Quarantined never mutates), like
+// the rest of stall attribution.
+func (s *swarm) allHoldersQuarantined(p *peerState, idx int, at time.Duration) bool {
+	holders := 0
+	for _, q := range s.peers {
+		if q == p || q.departed || q.crashed || !q.have[idx] {
+			continue
+		}
+		holders++
+		if !s.rep.Quarantined(q.id, at) {
+			return false
+		}
+	}
+	return holders > 0
+}
+
+// allInFlightSourcesQuarantined reports whether every in-flight
+// download's source was quarantined at the stall's timestamp (map
+// iteration order is irrelevant: boolean AND).
+func (s *swarm) allInFlightSourcesQuarantined(p *peerState, at time.Duration) bool {
+	for _, d := range p.inFlight {
+		if d.src.isCDN || !s.rep.Quarantined(d.src.id, at) {
+			return false
+		}
+	}
+	return len(p.inFlight) > 0
 }

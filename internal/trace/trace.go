@@ -25,6 +25,7 @@ const (
 	CatPlayer = "player"
 	CatSched  = "sched"
 	CatFault  = "fault"
+	CatRep    = "rep"
 )
 
 // Canonical event names. Emitters and the timeline/attribution tooling
@@ -80,6 +81,24 @@ const (
 	EvCorrupt      = "corrupt_start"
 	EvCorruptEnd   = "corrupt_end"
 	EvLossState    = "loss_state"
+
+	// Adversarial peers (CatFault): windows during which a peer serves
+	// corrupt data, lies about availability, trickles bytes, or
+	// duplicates deliveries. EvServeTimeout fires when a pending request
+	// against a source expires without completing.
+	EvAdversary    = "adversary_start"
+	EvAdversaryEnd = "adversary_end"
+	EvDuplicate    = "duplicate_start"
+	EvDuplicateEnd = "duplicate_end"
+	EvServeTimeout = "serve_timeout"
+
+	// Reputation/quarantine lifecycle (CatRep). The Peer field (or a
+	// "peer" string arg on the real stack) names the peer being judged;
+	// penalties carry the observation name and resulting score.
+	EvRepPenalty     = "rep_penalty"
+	EvQuarantine     = "quarantine_begin"
+	EvQuarantineEnd  = "quarantine_end"
+	EvProbationClear = "probation_clear"
 )
 
 // Stall causes attached to EvStallCause events. Every stall must carry
@@ -117,6 +136,18 @@ const (
 	// downloaded segment recently failed verification, forcing a
 	// re-download of bytes already paid for.
 	CauseCorruptSegment = "corrupt_segment"
+	// CausePeerQuarantined: every source for the peer's next need —
+	// in-flight or prospective — is quarantined by the reputation
+	// subsystem, so progress waits on probation or the sole-source
+	// escape hatch.
+	CausePeerQuarantined = "peer_quarantined"
+	// CauseStaleHave: every in-flight download is a pending request
+	// against a source that advertised the segment but has not started
+	// serving it (a stale-have liar until the serve timeout fires).
+	CauseStaleHave = "stale_have"
+	// CauseSlowServe: an in-flight pending request is being trickled by a
+	// slowloris source below the slow-serve floor.
+	CauseSlowServe = "slow_serve"
 )
 
 // StallCauses returns the closed set of attributable stall causes, in a
@@ -134,6 +165,9 @@ func StallCauses() []string {
 		CauseTrackerDown,
 		CauseBurstLoss,
 		CauseCorruptSegment,
+		CausePeerQuarantined,
+		CauseStaleHave,
+		CauseSlowServe,
 	}
 }
 

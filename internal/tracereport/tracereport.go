@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 
 	"p2psplice/internal/trace"
 )
@@ -106,6 +107,22 @@ type SegmentStats struct {
 	Latency    Dist  `json:"latency"`
 }
 
+// RepPeerStats is one row of the per-peer reputation rollup, aggregated
+// across the directory by peer key (the emulator's integer node id, or
+// the real stack's peer id string). Penalties and Quarantines count the
+// peer's CatRep events; QuarantineUS sums its quarantine windows —
+// begin to the scheduled release, clamped to each trace's end, with
+// overlapping windows merged. FinalScore is the score carried by the
+// peer's last penalty or quarantine event in sorted-file order (scores
+// are only traced when charged, so it reflects the last offense).
+type RepPeerStats struct {
+	Peer         string  `json:"peer"`
+	Penalties    int64   `json:"penalties"`
+	Quarantines  int64   `json:"quarantines"`
+	QuarantineUS int64   `json:"quarantine_us"`
+	FinalScore   float64 `json:"final_score"`
+}
+
 // FileStats is the per-file (per experiment cell) rollup of the peer
 // timelines: one row per *.jsonl in the directory.
 type FileStats struct {
@@ -133,7 +150,10 @@ type Report struct {
 	Causes   []CauseStats `json:"causes"`
 	Flows    FlowStats    `json:"flows"`
 	Segments SegmentStats `json:"segments"`
-	PerFile  []FileStats  `json:"per_file"`
+	// Reputation is present only when the traces carry CatRep events
+	// (reputation-enabled runs): one row per penalized peer.
+	Reputation []RepPeerStats `json:"reputation,omitempty"`
+	PerFile    []FileStats    `json:"per_file"`
 }
 
 // Analysis couples the Report with the raw sorted sample sets the CDF
@@ -156,6 +176,10 @@ type accum struct {
 	segments []int64
 	byCause  map[string][]int64
 	flows    FlowStats
+	// rep aggregates CatRep events by peer key; repOrder preserves
+	// first-seen order until the final numeric-aware sort.
+	rep      map[string]*RepPeerStats
+	repOrder []string
 }
 
 // flowState tracks one flow id within one file.
@@ -203,7 +227,10 @@ func AnalyzeFiles(names []string, eventsByFile [][]trace.Event) *Analysis {
 }
 
 func newAccum() *accum {
-	return &accum{byCause: make(map[string][]int64)}
+	return &accum{
+		byCause: make(map[string][]int64),
+		rep:     make(map[string]*RepPeerStats),
+	}
 }
 
 // addFile folds one event log into the accumulator.
@@ -255,6 +282,7 @@ func (a *accum) addFile(name string, events []trace.Event) {
 	// Flow and segment events fold directly; flow spans are tracked per
 	// flow id within the file (ids are not unique across files).
 	flows := make(map[int64]*flowState)
+	var quarSpans []repSpan
 	var lastUS int64
 	for _, ev := range events {
 		if us := ev.At.Microseconds(); us > lastUS {
@@ -269,6 +297,27 @@ func (a *accum) addFile(name string, events []trace.Event) {
 				a.report.Segments.Count++
 				a.report.Segments.TotalBytes += ev.ArgInt64("bytes", 0)
 			}
+		case trace.CatRep:
+			quarSpans = a.addRepEvent(quarSpans, ev)
+		}
+	}
+	// Quarantine windows are charged up to their scheduled release,
+	// clamped to the trace's end; per-peer overlaps (an escape-hatch
+	// offense extending a live window) are merged, which the in-order
+	// span list makes a single forward pass. The merge state is per file:
+	// peer keys repeat across cells on fresh timelines.
+	openUntil := make(map[string]int64)
+	for _, sp := range quarSpans {
+		start, end := sp.startUS, sp.untilUS
+		if end > lastUS {
+			end = lastUS
+		}
+		if prev := openUntil[sp.peer]; start < prev {
+			start = prev
+		}
+		if end > start {
+			a.rep[sp.peer].QuarantineUS += end - start
+			openUntil[sp.peer] = end
 		}
 	}
 	// Close out still-active/frozen flows at the trace's end so a run
@@ -330,6 +379,53 @@ func (a *accum) addFlowEvent(flows map[int64]*flowState, ev trace.Event) {
 	}
 }
 
+// repSpan is one quarantine window within one file, pending the clamp
+// against the file's last timestamp.
+type repSpan struct {
+	peer    string
+	startUS int64
+	untilUS int64
+}
+
+// repPeerKey derives the rollup key for a CatRep event: the emulator
+// stamps the scored node id on Event.Peer; the real stack has no integer
+// ids and carries the wire peer id in the "peer" arg instead.
+func repPeerKey(ev trace.Event) string {
+	if ev.Peer >= 0 {
+		return strconv.Itoa(ev.Peer)
+	}
+	return ev.ArgStr("peer", "")
+}
+
+// addRepEvent folds one CatRep event and returns the (possibly grown)
+// quarantine span list.
+func (a *accum) addRepEvent(spans []repSpan, ev trace.Event) []repSpan {
+	key := repPeerKey(ev)
+	if key == "" {
+		return spans
+	}
+	st := a.rep[key]
+	if st == nil {
+		st = &RepPeerStats{Peer: key}
+		a.rep[key] = st
+		a.repOrder = append(a.repOrder, key)
+	}
+	switch ev.Name {
+	case trace.EvRepPenalty:
+		st.Penalties++
+		st.FinalScore = ev.ArgFloat64("score", st.FinalScore)
+	case trace.EvQuarantine:
+		st.Quarantines++
+		st.FinalScore = ev.ArgFloat64("score", st.FinalScore)
+		spans = append(spans, repSpan{
+			peer:    key,
+			startUS: ev.At.Microseconds(),
+			untilUS: ev.ArgInt64("until_us", ev.At.Microseconds()),
+		})
+	}
+	return spans
+}
+
 // finish seals the accumulator into an Analysis.
 func (a *accum) finish() *Analysis {
 	r := &a.report
@@ -361,6 +457,27 @@ func (a *accum) finish() *Analysis {
 		a.flows.UtilizationPct = 100 * float64(a.flows.ActiveUS-a.flows.FrozenUS) / float64(a.flows.ActiveUS)
 	}
 	r.Flows = a.flows
+
+	// Numeric-aware peer order: the emulator's integer node ids sort by
+	// value, the real stack's opaque id strings after them by name.
+	sort.Slice(a.repOrder, func(i, j int) bool {
+		ki, kj := a.repOrder[i], a.repOrder[j]
+		ni, erri := strconv.Atoi(ki)
+		nj, errj := strconv.Atoi(kj)
+		switch {
+		case erri == nil && errj == nil:
+			return ni < nj
+		case erri == nil:
+			return true
+		case errj == nil:
+			return false
+		default:
+			return ki < kj
+		}
+	})
+	for _, key := range a.repOrder {
+		r.Reputation = append(r.Reputation, *a.rep[key])
+	}
 
 	return &Analysis{
 		Report:    r,

@@ -289,3 +289,92 @@ func TestAnalyzeDirEmpty(t *testing.T) {
 		t.Fatal("AnalyzeDir over an empty dir must fail")
 	}
 }
+
+// repEvent builds one CatRep event the emulator way (integer peer id on
+// Event.Peer) unless peerArg is non-empty, in which case it mimics the
+// real stack (Peer=-1, id in the "peer" arg).
+func repEvent(at int64, peer int, peerArg, name string, args ...trace.Arg) trace.Event {
+	ev := trace.Event{At: us(at), Peer: peer, Seg: -1, Cat: trace.CatRep, Name: name, Args: args}
+	if peerArg != "" {
+		ev.Peer = -1
+		ev.Args = append([]trace.Arg{trace.Str("peer", peerArg)}, args...)
+	}
+	return ev
+}
+
+func TestReputationRollup(t *testing.T) {
+	evs := []trace.Event{
+		repEvent(1000, 3, "", trace.EvRepPenalty,
+			trace.Str("obs", "verify_fail"), trace.Float64("score", 4)),
+		repEvent(2000, 3, "", trace.EvRepPenalty,
+			trace.Str("obs", "verify_fail"), trace.Float64("score", 7.5)),
+		repEvent(2000, 3, "", trace.EvQuarantine,
+			trace.Float64("score", 11), trace.Int64("until_us", 6000)),
+		// Re-offense inside the live window: the extended span must merge,
+		// charging 2000..8000 once (6000us), not 4000+6000.
+		repEvent(4000, 3, "", trace.EvQuarantine,
+			trace.Float64("score", 15), trace.Int64("until_us", 8000)),
+		repEvent(1500, 1, "", trace.EvRepPenalty,
+			trace.Str("obs", "stale_have"), trace.Float64("score", 3)),
+		// Real-stack shaped event: string peer key.
+		repEvent(1700, 0, "EVILEVIL", trace.EvRepPenalty,
+			trace.Str("obs", "timeout"), trace.Float64("score", 1)),
+		// The trace runs long enough that no window needs end-clamping.
+		{At: us(20000), Peer: 0, Seg: -1, Cat: trace.CatPlayer, Name: trace.EvFinished},
+	}
+	a := AnalyzeFiles([]string{"a.jsonl"}, [][]trace.Event{evs})
+	rep := a.Report.Reputation
+	if len(rep) != 3 {
+		t.Fatalf("reputation rows = %+v, want 3", rep)
+	}
+	// Numeric-aware order: 1, 3, then the string key.
+	if rep[0].Peer != "1" || rep[1].Peer != "3" || rep[2].Peer != "EVILEVIL" {
+		t.Fatalf("row order = %s, %s, %s", rep[0].Peer, rep[1].Peer, rep[2].Peer)
+	}
+	p3 := rep[1]
+	if p3.Penalties != 2 || p3.Quarantines != 2 || p3.FinalScore != 15 {
+		t.Errorf("peer 3 = %+v", p3)
+	}
+	if p3.QuarantineUS != 6000 {
+		t.Errorf("peer 3 quarantine time = %d, want 6000 (merged overlap)", p3.QuarantineUS)
+	}
+	if rep[2].Penalties != 1 || rep[2].FinalScore != 1 {
+		t.Errorf("real-stack row = %+v", rep[2])
+	}
+
+	var tb bytes.Buffer
+	if err := WriteTable(&tb, a.Report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "penalized peer") || !strings.Contains(tb.String(), "EVILEVIL") {
+		t.Errorf("table missing reputation section:\n%s", tb.String())
+	}
+}
+
+func TestReputationQuarantineClampedAtTraceEnd(t *testing.T) {
+	evs := []trace.Event{
+		repEvent(1000, 2, "", trace.EvQuarantine,
+			trace.Float64("score", 12), trace.Int64("until_us", 50000)),
+		{At: us(3000), Peer: 0, Seg: -1, Cat: trace.CatPlayer, Name: trace.EvFinished},
+	}
+	a := AnalyzeFiles([]string{"a.jsonl"}, [][]trace.Event{evs})
+	rep := a.Report.Reputation
+	if len(rep) != 1 || rep[0].QuarantineUS != 2000 {
+		t.Fatalf("reputation = %+v, want one row clamped to 2000us", rep)
+	}
+}
+
+func TestReputationAbsentWithoutRepEvents(t *testing.T) {
+	evs := playerEvents(0, 1000, 5000, 7000, trace.CauseSlowFlow)
+	a := AnalyzeFiles([]string{"a.jsonl"}, [][]trace.Event{evs})
+	if a.Report.Reputation != nil {
+		t.Fatalf("reputation = %+v, want nil (omitted from JSON)", a.Report.Reputation)
+	}
+	var tb bytes.Buffer
+	if err := WriteTable(&tb, a.Report); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tb.String(), "penalized peer") {
+		t.Error("table rendered a reputation section for a rep-free trace")
+	}
+}

@@ -78,6 +78,23 @@ func WriteTable(w io.Writer, r *Report) error {
 		return err
 	}
 
+	if len(r.Reputation) > 0 {
+		if err := p("%-24s %10s %12s %16s %12s\n",
+			"penalized peer", "penalties", "quarantines", "quarantine-time", "last-score"); err != nil {
+			return err
+		}
+		for _, rp := range r.Reputation {
+			if err := p("%-24s %10d %12d %16s %12s\n",
+				rp.Peer, rp.Penalties, rp.Quarantines, secs(rp.QuarantineUS),
+				strconv.FormatFloat(rp.FinalScore, 'f', 2, 64)); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+
 	if err := p("%-48s %6s %6s %6s %8s %12s %12s\n",
 		"file", "peers", "fin", "stalls", "open", "stall-total", "startup-mean"); err != nil {
 		return err
