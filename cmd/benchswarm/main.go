@@ -1,27 +1,39 @@
 // Command benchswarm produces the swarm-scale emulation perf artifact
-// (BENCH_8.json): it times a 10k-peer locality-clustered swarm on the
+// (BENCH_10.json): it times a 10k-peer locality-clustered swarm on the
 // incremental reallocator, times the forced-full recompute baseline on
 // the identical workload (event-budget truncated, since a full 10k-peer
 // drain under per-event full recomputes is precisely the cost the
 // incremental path removes), and reports throughput plus the
-// full-vs-incremental ratio. The JSON schema is documented in DESIGN.md
-// §12.
+// full-vs-incremental ratio.
+//
+// The harness also observes itself: the incremental workload is re-run
+// with the windowed time-series recorder and the bounded sampled trace
+// ring attached, the traced digest is asserted identical to the
+// untraced one, and the measured overhead is gated against
+// -max-overhead-pct. A dedicated (untimed) traced run is captured under
+// the CPU profiler and the top functions are embedded in the artifact,
+// so the JSON answers both "how fast" and "where did the time go". The
+// schema is documented in DESIGN.md §12 and §15.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"p2psplice/internal/pprofile"
 	"p2psplice/internal/swarmbench"
+	"p2psplice/internal/trace"
 )
 
-// benchReport is the BENCH_*.json schema (p2psplice/bench-swarm/v1).
+// benchReport is the BENCH_*.json schema (p2psplice/bench-swarm/v2).
 type benchReport struct {
 	Schema string      `json:"schema"`
 	Bench  string      `json:"bench"`
@@ -38,6 +50,11 @@ type benchReport struct {
 	// truncated incremental run walked the identical trajectory, which is
 	// what makes the ratio apples-to-apples.
 	BaselineDigestMatches bool `json:"baseline_digest_matches"`
+
+	// Observability reports the harness observing itself: the traced
+	// re-run of the incremental workload, its measured overhead, and
+	// the CPU profile of the traced configuration.
+	Observability benchObservability `json:"observability"`
 }
 
 type benchConfig struct {
@@ -76,22 +93,69 @@ type benchRun struct {
 	ReallocsPerSec float64 `json:"reallocs_per_sec"`
 }
 
-// timeBest runs cfg reps times and returns the fastest run's report plus
-// its digest, checking every rep reproduces the same digest.
-func timeBest(cfg swarmbench.Config, reps int) (benchRun, uint64, error) {
+// benchObservability is the self-observation section.
+type benchObservability struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	RingCapacity  int     `json:"ring_capacity"`
+	SampleRate    float64 `json:"sample_rate"`
+
+	Traced benchRun `json:"traced"`
+	// OverheadPct is (traced - untraced) / untraced wall time, best of
+	// reps each, in percent. Negative values are timer noise.
+	OverheadPct    float64 `json:"overhead_pct"`
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+	// DigestMatches confirms the traced run walked the identical
+	// trajectory — telemetry proven inert on the measured workload.
+	DigestMatches bool `json:"digest_matches"`
+
+	Ring          trace.RingCounts `json:"ring"`
+	RingRetained  int              `json:"ring_retained"`
+	Series        []benchSeries    `json:"series"`
+	Profile       benchProfile     `json:"profile"`
+}
+
+// benchSeries summarizes one telemetry series of the traced run.
+type benchSeries struct {
+	Name         string `json:"name"`
+	Kind         string `json:"kind"`
+	Windows      int    `json:"windows"`
+	Observations int64  `json:"observations"`
+}
+
+// benchProfile is the parsed CPU profile of a traced run.
+type benchProfile struct {
+	SampleType string          `json:"sample_type"`
+	SampleUnit string          `json:"sample_unit"`
+	Samples    int64           `json:"samples"`
+	Total      int64           `json:"total"`
+	Top        []benchProfFunc `json:"top_functions"`
+}
+
+type benchProfFunc struct {
+	Function string  `json:"function"`
+	Flat     int64   `json:"flat"`
+	FlatPct  float64 `json:"flat_pct"`
+	Cum      int64   `json:"cum"`
+}
+
+// timeBest runs cfg reps times and returns the fastest run's report,
+// its digest, and the last rep's full result (telemetry is identical
+// across reps), checking every rep reproduces the same digest.
+func timeBest(cfg swarmbench.Config, reps int) (benchRun, uint64, swarmbench.Result, error) {
 	var best benchRun
 	var digest uint64
+	var last swarmbench.Result
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		res, err := swarmbench.Run(cfg)
 		wall := time.Since(start).Seconds()
 		if err != nil {
-			return benchRun{}, 0, err
+			return benchRun{}, 0, swarmbench.Result{}, err
 		}
 		if i == 0 {
 			digest = res.Digest
 		} else if res.Digest != digest {
-			return benchRun{}, 0, fmt.Errorf("nondeterministic run: digest %x then %x", digest, res.Digest)
+			return benchRun{}, 0, swarmbench.Result{}, fmt.Errorf("nondeterministic run: digest %x then %x", digest, res.Digest)
 		}
 		if i == 0 || wall < best.WallSeconds {
 			best = benchRun{
@@ -108,8 +172,48 @@ func timeBest(cfg swarmbench.Config, reps int) (benchRun, uint64, error) {
 				ReallocsPerSec: float64(res.Stats.Reallocs) / wall,
 			}
 		}
+		last = res
 	}
-	return best, digest, nil
+	return best, digest, last, nil
+}
+
+// profileRun executes one traced run under the CPU profiler and parses
+// the capture. The run is untimed — profiling overhead must not touch
+// the overhead measurement.
+func profileRun(cfg swarmbench.Config, topN int, rawOut string) (benchProfile, error) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return benchProfile{}, err
+	}
+	_, runErr := swarmbench.Run(cfg)
+	pprof.StopCPUProfile()
+	if runErr != nil {
+		return benchProfile{}, runErr
+	}
+	if rawOut != "" {
+		if err := os.WriteFile(rawOut, buf.Bytes(), 0o644); err != nil {
+			return benchProfile{}, err
+		}
+	}
+	p, err := pprofile.Parse(buf.Bytes())
+	if err != nil {
+		return benchProfile{}, err
+	}
+	bp := benchProfile{
+		SampleType: p.SampleType,
+		SampleUnit: p.SampleUnit,
+		Samples:    p.Samples,
+		Total:      p.Total,
+	}
+	for _, f := range p.Top(topN) {
+		bp.Top = append(bp.Top, benchProfFunc{
+			Function: f.Name,
+			Flat:     f.Flat,
+			FlatPct:  f.FlatPercent(p.Total),
+			Cum:      f.Cum,
+		})
+	}
+	return bp, nil
 }
 
 func run() error {
@@ -117,7 +221,13 @@ func run() error {
 	seed := flag.Int64("seed", 7, "workload seed")
 	reps := flag.Int("reps", 3, "timed repetitions (best wall time wins)")
 	baselineEvents := flag.Int("baseline-events", 50_000, "event budget for the full-recompute baseline")
-	out := flag.String("out", "BENCH_8.json", "output artifact path")
+	window := flag.Duration("window", time.Second, "telemetry window (virtual time) for the traced run")
+	ringCap := flag.Int("ring-capacity", 65_536, "bounded trace ring capacity for the traced run")
+	sampleRate := flag.Float64("sample-rate", 0.25, "trace sampler keep probability for the traced run")
+	maxOverhead := flag.Float64("max-overhead-pct", 5, "fail if traced overhead exceeds this percentage (negative disables the gate)")
+	topN := flag.Int("profile-top", 10, "functions to embed from the CPU profile")
+	cpuOut := flag.String("cpuprofile", "", "also write the raw CPU profile to this path")
+	out := flag.String("out", "BENCH_10.json", "output artifact path")
 	flag.Parse()
 
 	// Shards=1: one swarm-wide network, so the full baseline pays the
@@ -125,15 +235,57 @@ func run() error {
 	// on. Worker count is irrelevant with a single shard.
 	cfg := swarmbench.Config{Peers: *peers, Shards: 1, Seed: *seed}
 
-	inc, digest, err := timeBest(cfg, *reps)
+	inc, digest, _, err := timeBest(cfg, *reps)
 	if err != nil {
 		return fmt.Errorf("incremental run: %w", err)
+	}
+
+	// Traced re-run of the identical workload: telemetry + sampled ring
+	// attached, digest asserted unchanged, overhead measured.
+	tracedCfg := cfg
+	tracedCfg.TimeSeriesWindow = *window
+	tracedCfg.TraceCapacity = *ringCap
+	tracedCfg.TraceSampleRate = *sampleRate
+	traced, tracedDigest, tracedRes, err := timeBest(tracedCfg, *reps)
+	if err != nil {
+		return fmt.Errorf("traced run: %w", err)
+	}
+	if tracedDigest != digest {
+		return fmt.Errorf("traced digest %x != untraced digest %x: telemetry is not inert", tracedDigest, digest)
+	}
+	overheadPct := 100 * (traced.WallSeconds - inc.WallSeconds) / inc.WallSeconds
+	if *maxOverhead >= 0 && overheadPct > *maxOverhead {
+		return fmt.Errorf("telemetry overhead %.2f%% exceeds budget %.2f%% (untraced %.3fs, traced %.3fs)",
+			overheadPct, *maxOverhead, inc.WallSeconds, traced.WallSeconds)
+	}
+
+	obs := benchObservability{
+		WindowSeconds:  window.Seconds(),
+		RingCapacity:   *ringCap,
+		SampleRate:     *sampleRate,
+		Traced:         traced,
+		OverheadPct:    overheadPct,
+		MaxOverheadPct: *maxOverhead,
+		DigestMatches:  true,
+		Ring:           tracedRes.Trace,
+		RingRetained:   tracedRes.TraceRetained,
+	}
+	if tracedRes.Series != nil {
+		for _, s := range tracedRes.Series.Series {
+			obs.Series = append(obs.Series, benchSeries{
+				Name: s.Name, Kind: s.Kind, Windows: len(s.Windows), Observations: s.Total(),
+			})
+		}
+	}
+	obs.Profile, err = profileRun(tracedCfg, *topN, *cpuOut)
+	if err != nil {
+		return fmt.Errorf("profile run: %w", err)
 	}
 
 	fullCfg := cfg
 	fullCfg.FullRealloc = true
 	fullCfg.MaxEvents = *baselineEvents
-	full, fullDigest, err := timeBest(fullCfg, 1)
+	full, fullDigest, _, err := timeBest(fullCfg, 1)
 	if err != nil {
 		return fmt.Errorf("full-baseline run: %w", err)
 	}
@@ -148,7 +300,7 @@ func run() error {
 	}
 
 	rep := benchReport{
-		Schema: "p2psplice/bench-swarm/v1",
+		Schema: "p2psplice/bench-swarm/v2",
 		Bench:  strings.TrimSuffix(filepath.Base(*out), ".json"),
 		Config: benchConfig{
 			Peers: *peers, Shards: 1, ClusterSize: 40, SegmentsPerPeer: 4,
@@ -164,6 +316,7 @@ func run() error {
 		FullBaseline:          full,
 		EventsPerSecRatio:     inc.EventsPerSec / full.EventsPerSec,
 		BaselineDigestMatches: truncRes.Digest == fullDigest,
+		Observability:         obs,
 	}
 	if !rep.BaselineDigestMatches {
 		return fmt.Errorf("baseline digest %x does not match truncated incremental digest %x: ratio would compare different workloads",
@@ -178,8 +331,8 @@ func run() error {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchswarm: %d peers, incremental %.0f events/sec (%.2fs), full baseline %.0f events/sec, ratio %.1fx -> %s\n",
-		*peers, inc.EventsPerSec, inc.WallSeconds, full.EventsPerSec, rep.EventsPerSecRatio, *out)
+	fmt.Printf("benchswarm: %d peers, incremental %.0f events/sec (%.2fs), traced overhead %+.2f%%, full baseline %.0f events/sec, ratio %.1fx -> %s\n",
+		*peers, inc.EventsPerSec, inc.WallSeconds, overheadPct, full.EventsPerSec, rep.EventsPerSecRatio, *out)
 	return nil
 }
 

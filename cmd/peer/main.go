@@ -12,11 +12,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"p2psplice/internal/core"
@@ -55,7 +57,7 @@ func main() {
 	flag.BoolVar(&o.progress, "progress", false, "print download progress")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Minute, "abort if not complete after this long")
 	flag.StringVar(&o.tracePath, "trace", "", "stream trace events to this file as JSONL and print the counter registry on exit")
-	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (empty = off)")
 	flag.DurationVar(&o.metricsLog, "metrics-log", 0, "log a registry snapshot to stderr at this period (0 = off)")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -120,11 +122,22 @@ func run(o options) error {
 			}
 		}()
 	}
+	// The debug endpoint starts before Join so /healthz and /metrics are
+	// scrapeable during startup; /readyz stays 503 until the node has
+	// joined and holds at least one live connection.
+	var joined atomic.Pointer[peer.Node]
 	if o.debugAddr != "" {
 		dbg, err := debughttp.Start(debughttp.Config{
 			Addr:          o.debugAddr,
 			Registry:      reg,
 			SnapshotEvery: o.metricsLog,
+			Ready: func() error {
+				n := joined.Load()
+				if n == nil {
+					return errors.New("still joining the swarm")
+				}
+				return n.Ready()
+			},
 		})
 		if err != nil {
 			return err
@@ -144,6 +157,7 @@ func run(o options) error {
 		return err
 	}
 	defer node.Close()
+	joined.Store(node)
 
 	m := node.Manifest()
 	fmt.Printf("joined swarm %s: %d segments, %v clip, policy %s\n",

@@ -20,6 +20,13 @@
 //	    exposition, and require each named series to be present (used by
 //	    `make metrics-smoke`).
 //
+//	splicetrace timeseries DIR [-window D] [-peers N] [-csv] [-o FILE]
+//	    Rebuild the windowed virtual-time telemetry (buffer occupancy,
+//	    in-flight flows, stalled peers, pool targets, completions per
+//	    window) from a trace directory, as a summary report or CSV. The
+//	    rebuild is bit-identical to what an in-process TimeSeries
+//	    recorded during the same runs.
+//
 // Reports are deterministic: the same trace directory yields
 // byte-identical output across runs, machines, and the -workers value
 // that produced it.
@@ -53,6 +60,8 @@ func main() {
 		err = cmdCDF(os.Args[2:])
 	case "scrape":
 		err = cmdScrape(os.Args[2:])
+	case "timeseries":
+		err = cmdTimeSeries(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -73,6 +82,7 @@ func usage() {
   splicetrace diff DIR_A DIR_B [-json] [-o FILE]
   splicetrace cdf DIR [-kind stall|segment|startup] [-o FILE]
   splicetrace scrape URL [-series NAME]...
+  splicetrace timeseries DIR [-window D] [-peers N] [-csv] [-o FILE]
 `)
 }
 
@@ -210,6 +220,43 @@ func cmdCDF(args []string) error {
 		return err
 	}
 	err = tracereport.WriteCDF(w, *kind, samples)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func cmdTimeSeries(args []string) error {
+	fs := flag.NewFlagSet("timeseries", flag.ExitOnError)
+	window := fs.Duration("window", time.Second, "aggregation window width (virtual time)")
+	peers := fs.Int("peers", 0, "leechers per run for the stall fraction (0 infers per file)")
+	maxWindows := fs.Int("max-windows", 1024, "window budget per series; later observations clamp")
+	asCSV := fs.Bool("csv", false, "emit one CSV row per (series, window) instead of the summary")
+	out := fs.String("o", "", "write to this file instead of stdout")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("timeseries: want exactly one trace directory, got %d args", len(pos))
+	}
+	snap, err := tracereport.BuildTimeSeriesDir(pos[0], tracereport.TimeSeriesOptions{
+		Window:     *window,
+		MaxWindows: *maxWindows,
+		Peers:      *peers,
+	})
+	if err != nil {
+		return err
+	}
+	w, closeOut, err := output(*out)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		err = snap.WriteCSV(w)
+	} else {
+		err = snap.WriteText(w)
+	}
 	if cerr := closeOut(); err == nil {
 		err = cerr
 	}

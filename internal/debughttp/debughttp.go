@@ -4,7 +4,14 @@
 //
 //	GET /metrics  Prometheus text exposition of the process registry
 //	GET /healthz  liveness probe ("ok" plus uptime)
+//	GET /readyz   readiness probe (503 until the daemon reports ready)
 //	/debug/pprof/ the stdlib profiler (heap, goroutine, CPU, trace, ...)
+//
+// Liveness and readiness are distinct on purpose: /healthz answers "is
+// the process serving HTTP" and never fails while the listener is up,
+// while /readyz asks the daemon's Ready callback — a joining peer that
+// has no manifest or no live connection yet is alive but not ready, and
+// an orchestrator should route traffic only on the latter.
 //
 // The package deliberately lives outside the deterministic core: it reads
 // the wall clock for uptime and the snapshot logger, and it serves real
@@ -40,6 +47,10 @@ type Config struct {
 	// Logf receives snapshot output and serve errors. Defaults to
 	// stderr.
 	Logf func(format string, args ...any)
+	// Ready backs /readyz: return nil when the daemon can take traffic,
+	// or an error naming what is still missing (served in the 503 body).
+	// Nil means always ready, so liveness-only daemons need no wiring.
+	Ready func() error
 }
 
 // Server is a running debug endpoint. Close stops the listener and joins
@@ -99,10 +110,11 @@ func (sl *SnapshotLogger) Stop() {
 	})
 }
 
-// Handler returns the debug mux for reg: /metrics, /healthz, and
-// /debug/pprof/*. Exported so servers with their own listener (the CDN
-// origin, tests) can mount the same surface Start serves.
-func Handler(reg *trace.Registry, start time.Time) http.Handler {
+// Handler returns the debug mux for reg: /metrics, /healthz, /readyz,
+// and /debug/pprof/*. ready may be nil (always ready). Exported so
+// servers with their own listener (the CDN origin, tests) can mount the
+// same surface Start serves.
+func Handler(reg *trace.Registry, start time.Time, ready func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -120,6 +132,17 @@ func Handler(reg *trace.Registry, start time.Time) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		// Client disconnect mid-probe is not actionable server-side.
 		_, _ = fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		// Client disconnect mid-probe is not actionable server-side.
+		_, _ = fmt.Fprint(w, "ready\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -147,7 +170,7 @@ func Start(cfg Config) (*Server, error) {
 		logf:  logf,
 		start: time.Now(),
 	}
-	s.srv = &http.Server{Handler: Handler(cfg.Registry, s.start)}
+	s.srv = &http.Server{Handler: Handler(cfg.Registry, s.start, cfg.Ready)}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()

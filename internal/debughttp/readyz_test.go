@@ -1,0 +1,62 @@
+package debughttp
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestReadyzTransitions drives /readyz through the probe lifecycle: 503
+// with the blocking reason while the daemon reports not-ready, 200 once
+// it does, and /healthz stays 200 throughout — liveness and readiness
+// are distinct surfaces.
+func TestReadyzTransitions(t *testing.T) {
+	var ready atomic.Bool
+	s, err := Start(Config{
+		Addr: "127.0.0.1:0",
+		Ready: func() error {
+			if !ready.Load() {
+				return errors.New("still joining the swarm")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while not ready = %d, want 503", code)
+	}
+	if !strings.Contains(body, "still joining the swarm") {
+		t.Errorf("/readyz 503 body %q does not name the blocker", body)
+	}
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz while not ready = %d, want 200 (liveness != readiness)", code)
+	}
+
+	ready.Store(true)
+	code, body = get(t, base+"/readyz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ready") {
+		t.Errorf("/readyz once ready = %d %q, want 200 ready", code, body)
+	}
+}
+
+// TestReadyzNilAlwaysReady: daemons that wire no Ready callback are
+// ready as soon as they serve — the pre-/readyz behavior.
+func TestReadyzNilAlwaysReady(t *testing.T) {
+	s, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/readyz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ready") {
+		t.Errorf("/readyz with nil Ready = %d %q, want 200 ready", code, body)
+	}
+}

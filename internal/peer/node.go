@@ -393,6 +393,26 @@ func (n *Node) Stats() Stats {
 	return st
 }
 
+// Ready reports whether the node can usefully take traffic: it holds a
+// manifest and at least one peer connection is live. Nil means ready;
+// the error names what is missing. Backs the /readyz probe — a node
+// that is still joining (or has lost every connection) is alive but not
+// ready, and a prober should distinguish the two.
+func (n *Node) Ready() error {
+	if n.manifest == nil {
+		return errors.New("no manifest")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("node closed")
+	}
+	if len(n.conns) == 0 {
+		return errors.New("no live peer connections")
+	}
+	return nil
+}
+
 // SetServeDuplication opens (on) or closes a duplicated-delivery fault
 // window: while open, serveBlock sends every PIECE twice. Wired to
 // fault.KindDuplicate by the fault harness; receivers must be idempotent

@@ -1,0 +1,58 @@
+package peer
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNodeReady walks the readiness lifecycle behind /readyz: a freshly
+// seeded node with no peers is not ready (no live connections), becomes
+// ready once a leecher connects, and reverts to not-ready after Close.
+func TestNodeReady(t *testing.T) {
+	m, blobs := testSwarmData(t, 4*time.Second, 2*time.Second)
+	trk := newTracker(t)
+
+	seeder, err := Seed(trk, m, blobs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seeder.Close()
+	if err := seeder.Ready(); err == nil || !strings.Contains(err.Error(), "connection") {
+		t.Fatalf("lonely seeder Ready() = %v, want a no-connections error", err)
+	}
+
+	l, err := Join(trk, seeder.InfoHash(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := l.WaitComplete(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Both ends of the established connection are ready.
+	if err := seeder.Ready(); err != nil {
+		t.Errorf("connected seeder Ready() = %v, want nil", err)
+	}
+	if err := l.Ready(); err != nil {
+		t.Errorf("connected leecher Ready() = %v, want nil", err)
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ready(); err == nil {
+		t.Error("closed node still reports ready")
+	}
+	// The seeder sheds the dead connection and goes not-ready again.
+	deadline := time.Now().Add(10 * time.Second)
+	for seeder.Ready() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("seeder still ready 10s after its only peer closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

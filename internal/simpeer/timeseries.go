@@ -1,0 +1,53 @@
+package simpeer
+
+import (
+	"time"
+
+	"p2psplice/internal/trace"
+)
+
+// simSeries caches the windowed time-series handles, mirroring
+// simMetrics: all handles are nil-safe zero values when no TimeSeries is
+// attached, so the recording sites execute identically either way —
+// which is what TestTimeSeriesInert proves at the figure level.
+//
+// Every series is also derivable from the trace event stream alone
+// (pool_fill args, player transitions, segment completions), and the
+// observation sites sit exactly at the corresponding emit sites with the
+// same timestamps and values, so tracereport.BuildTimeSeries reproduces
+// this recorder bit for bit from a run's JSONL — the coherence test
+// enforces it.
+type simSeries struct {
+	bufferedUS    trace.TSGauge
+	poolTarget    trace.TSHist
+	inflight      trace.TSGauge
+	stalled       trace.TSGauge
+	stallPermille trace.TSGauge
+	segsDone      trace.TSCounter
+}
+
+// newSimSeries registers the emulation's series against ts. A nil ts
+// yields all-no-op handles (the zero simSeries).
+func newSimSeries(ts *trace.TimeSeries) simSeries {
+	if ts == nil {
+		return simSeries{}
+	}
+	return simSeries{
+		bufferedUS:    ts.Gauge(trace.TSBufferOccupancyUS),
+		poolTarget:    ts.Histogram(trace.TSPoolTargetK),
+		inflight:      ts.Gauge(trace.TSInflightFlows),
+		stalled:       ts.Gauge(trace.TSStalledPeers),
+		stallPermille: ts.Gauge(trace.TSStallFractionPermille),
+		segsDone:      ts.Counter(trace.TSSegmentsCompleted),
+	}
+}
+
+// observeStalled samples the stalled-peer count and stall fraction after
+// a transition updated s.stalledNow. at is the transition's (possibly
+// retroactive) timestamp, matching the emitted player events.
+func (s *swarm) observeStalled(at time.Duration) {
+	s.ss.stalled.Observe(at, int64(s.stalledNow))
+	if lee := len(s.peers) - 1; lee > 0 {
+		s.ss.stallPermille.Observe(at, int64(s.stalledNow)*1000/int64(lee))
+	}
+}

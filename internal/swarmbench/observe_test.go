@@ -1,0 +1,103 @@
+package swarmbench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"p2psplice/internal/trace"
+)
+
+// TestTelemetryInert proves the time-series recorder and the sampled
+// ring are pure observers at the swarm-bench layer: the same run with
+// and without them attached walks the identical trajectory (digest,
+// events, completions, virtual time, allocator stats).
+func TestTelemetryInert(t *testing.T) {
+	base := Config{Peers: 400, Shards: 2, Seed: 7}
+	bare, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := base
+	traced.TimeSeriesWindow = time.Second
+	traced.TraceCapacity = 256
+	traced.TraceSampleRate = 0.5
+	obs, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if obs.Digest != bare.Digest || obs.Events != bare.Events ||
+		obs.Completed != bare.Completed || obs.VirtualTime != bare.VirtualTime ||
+		obs.Stats != bare.Stats {
+		t.Fatalf("telemetry perturbed the run:\nbare:   %+v\ntraced: %+v", bare, obs)
+	}
+	if obs.Series == nil {
+		t.Fatal("traced run returned no telemetry snapshot")
+	}
+	var total int64
+	for _, s := range obs.Series.Series {
+		total += s.Total()
+	}
+	if total == 0 {
+		t.Fatal("telemetry attached but nothing observed")
+	}
+	if got := obs.Trace.Sampled + obs.Trace.Rejected; got != int64(obs.Completed) {
+		t.Fatalf("ring accounting leaks: sampled+rejected = %d, completions = %d", got, obs.Completed)
+	}
+	if obs.Trace.Rejected == 0 || obs.Trace.Sampled == 0 {
+		t.Fatalf("0.5 sampling produced a degenerate split: %+v", obs.Trace)
+	}
+	if bare.Series != nil || bare.Trace != (trace.RingCounts{}) {
+		t.Fatalf("untraced run carries telemetry: %+v", bare)
+	}
+}
+
+// TestTelemetryWorkerIndependent proves the merged snapshot, ring
+// counters, and CSV render are bit-identical across worker counts:
+// per-shard snapshots merge in shard order and sampler verdicts hash
+// the shard seed, so goroutine scheduling cannot leak in.
+func TestTelemetryWorkerIndependent(t *testing.T) {
+	base := Config{
+		Peers: 600, Shards: 4, Seed: 11,
+		TimeSeriesWindow: time.Second,
+		TraceCapacity:    128,
+		TraceSampleRate:  0.25,
+	}
+	var snaps [][]byte
+	var ref Result
+	for i, workers := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Series == nil {
+			t.Fatalf("workers=%d: no snapshot", workers)
+		}
+		var csv bytes.Buffer
+		if err := got.Series.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, csv.Bytes())
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if got.Digest != ref.Digest {
+			t.Errorf("workers=%d: digest %x, want %x", workers, got.Digest, ref.Digest)
+		}
+		if !reflect.DeepEqual(got.Series, ref.Series) {
+			t.Errorf("workers=%d: telemetry snapshot diverges", workers)
+		}
+		if got.Trace != ref.Trace || got.TraceRetained != ref.TraceRetained {
+			t.Errorf("workers=%d: ring accounting diverges: %+v vs %+v", workers, got.Trace, ref.Trace)
+		}
+		if !bytes.Equal(snaps[i], snaps[0]) {
+			t.Errorf("workers=%d: telemetry CSV differs byte-wise", workers)
+		}
+	}
+}

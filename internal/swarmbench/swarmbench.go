@@ -17,6 +17,7 @@
 package swarmbench
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"runtime"
@@ -25,7 +26,42 @@ import (
 
 	"p2psplice/internal/netem"
 	"p2psplice/internal/sim"
+	"p2psplice/internal/trace"
 )
+
+// Swarm-scale telemetry series. Names are distinct from the simpeer
+// sim_* set because the quantities differ: these are cluster-exchange
+// aggregates, not per-peer playback state.
+const (
+	// TSCompletions counts completed segment transfers per window.
+	TSCompletions = "swarm_completions"
+	// TSInflight samples a cluster's in-flight transfer count after each
+	// completion refill.
+	TSInflight = "swarm_inflight_flows"
+	// TSPending samples a cluster's queued-fetch backlog after each
+	// completion refill.
+	TSPending = "swarm_pending_fetches"
+)
+
+// swarmSeries bundles the per-shard telemetry handles. All handles are
+// nil-safe zero values when telemetry is disabled, so the instrumented
+// path executes the same statements either way (the inertness contract).
+type swarmSeries struct {
+	completions trace.TSCounter
+	inflight    trace.TSGauge
+	pending     trace.TSGauge
+}
+
+func newSwarmSeries(ts *trace.TimeSeries) swarmSeries {
+	if ts == nil {
+		return swarmSeries{}
+	}
+	return swarmSeries{
+		completions: ts.Counter(TSCompletions),
+		inflight:    ts.Gauge(TSInflight),
+		pending:     ts.Gauge(TSPending),
+	}
+}
 
 // Config parameterizes a swarm benchmark run.
 type Config struct {
@@ -56,6 +92,26 @@ type Config struct {
 	// Workers is the number of goroutines simulating shards. Default
 	// GOMAXPROCS. Has no effect on the digest.
 	Workers int
+
+	// TimeSeriesWindow, when positive, attaches a windowed virtual-time
+	// telemetry recorder to every shard (completions, in-flight fetches,
+	// pending queue depth per window). Shard snapshots merge in shard
+	// order, so Result.Series is identical for every Workers value, and
+	// the recorder is a pure observer: the digest is bit-identical with
+	// and without it.
+	TimeSeriesWindow time.Duration
+	// TimeSeriesMaxWindows bounds the windows per series (default 1024).
+	TimeSeriesMaxWindows int
+
+	// TraceCapacity, when positive, attaches a bounded sampled event
+	// ring to every shard: completion events pass a pure hash sampler
+	// (seeded by the shard seed, never the workload RNG) and land in a
+	// fixed-capacity ring. Result.Trace accounts for every event —
+	// sampled, rejected, or evicted — so the bound is honest.
+	TraceCapacity int
+	// TraceSampleRate is the sampler keep probability in [0,1]. Only
+	// meaningful with TraceCapacity > 0.
+	TraceSampleRate float64
 }
 
 func (c *Config) applyDefaults() {
@@ -89,6 +145,16 @@ type Result struct {
 	Stats       netem.AllocStats
 	Truncated   bool   // at least one shard hit MaxEvents
 	Digest      uint64 // FNV-1a over completion records, shard order
+
+	// Series is the shard-order merge of per-shard telemetry snapshots;
+	// nil unless Config.TimeSeriesWindow was set. Behind a pointer so
+	// untraced Results stay comparable with ==.
+	Series *trace.TSSnapshot
+	// Trace sums per-shard ring admission counters; zero unless
+	// Config.TraceCapacity was set.
+	Trace trace.RingCounts
+	// TraceRetained is the event count still held across shard rings.
+	TraceRetained int
 }
 
 type shardResult struct {
@@ -98,6 +164,10 @@ type shardResult struct {
 	stats       netem.AllocStats
 	truncated   bool
 	digest      uint64
+	series      trace.TSSnapshot
+	hasSeries   bool
+	ring        trace.RingCounts
+	retained    int
 }
 
 // Run simulates the configured swarm and returns its aggregate result.
@@ -126,6 +196,8 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Peers: cfg.Peers, Shards: cfg.Shards}
 	h := fnv.New64a()
 	var buf [8]byte
+	var merged trace.TSSnapshot
+	var hasSeries bool
 	for i, s := range shards {
 		if errs[i] != nil {
 			return Result{}, errs[i]
@@ -142,8 +214,25 @@ func Run(cfg Config) (Result, error) {
 		res.Truncated = res.Truncated || s.truncated
 		putUint64(&buf, s.digest)
 		h.Write(buf[:])
+		if s.hasSeries {
+			// Shard-order merge: windows aggregate commutatively, so the
+			// combined snapshot is Workers-independent, same as the digest.
+			m, err := trace.MergeTS(merged, s.series)
+			if err != nil {
+				return Result{}, fmt.Errorf("swarmbench: shard %d telemetry merge: %w", i, err)
+			}
+			merged = m
+			hasSeries = true
+		}
+		res.Trace.Sampled += s.ring.Sampled
+		res.Trace.Rejected += s.ring.Rejected
+		res.Trace.Dropped += s.ring.Dropped
+		res.TraceRetained += s.retained
 	}
 	res.Digest = h.Sum64()
+	if hasSeries {
+		res.Series = &merged
+	}
 	return res, nil
 }
 
@@ -181,6 +270,22 @@ func runShard(cfg Config, shard int) (shardResult, error) {
 
 	var sr shardResult
 	eng.SetFireObserver(func(time.Duration) { sr.events++ })
+
+	// Observability attachments. Both are pure observers: neither draws
+	// from rng nor feeds the digest, and the sampler hashes the shard
+	// seed — not an RNG stream — so verdicts are worker-independent.
+	var ts *trace.TimeSeries
+	if cfg.TimeSeriesWindow > 0 {
+		ts = trace.NewTimeSeries(trace.TimeSeriesConfig{
+			Window:     cfg.TimeSeriesWindow,
+			MaxWindows: cfg.TimeSeriesMaxWindows,
+		})
+	}
+	ss := newSwarmSeries(ts)
+	var ring *trace.Ring
+	if cfg.TraceCapacity > 0 {
+		ring = trace.NewRing(cfg.TraceCapacity, trace.NewHashSampler(seed, cfg.TraceSampleRate, nil))
+	}
 
 	peers := cfg.Peers / cfg.Shards
 	if shard < cfg.Peers%cfg.Shards {
@@ -267,7 +372,22 @@ func runShard(cfg Config, shard int) (shardResult, error) {
 				record(uint64(f.ID()))
 				record(uint64(eng.Now()))
 				record(uint64(fe.peer)<<32 | uint64(fe.seg))
+				now := eng.Now()
+				ss.completions.Inc(now)
+				if ring != nil {
+					ring.Emit(trace.Event{
+						At:   now,
+						Peer: int(fe.peer),
+						Seg:  fe.seg,
+						Cat:  trace.CatFlow,
+						Name: trace.EvFlowComplete,
+					})
+				}
 				pump(c)
+				// Post-refill pool depth and backlog, mirroring simpeer's
+				// post-fill inflight sample.
+				ss.inflight.Observe(now, int64(c.active))
+				ss.pending.Observe(now, int64(len(c.pending)))
 			})
 			if err != nil {
 				// A fetch from an owner it just picked cannot self-transfer
@@ -295,5 +415,13 @@ func runShard(cfg Config, shard int) (shardResult, error) {
 	sr.stats = net.AllocStats()
 	record(uint64(sr.virtualTime))
 	sr.digest = h.Sum64()
+	if ts != nil {
+		sr.series = ts.Snap()
+		sr.hasSeries = true
+	}
+	if ring != nil {
+		sr.ring = ring.Counts()
+		sr.retained = ring.Len()
+	}
 	return sr, nil
 }

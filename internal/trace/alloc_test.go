@@ -40,3 +40,76 @@ func BenchmarkHotpathHistogramObserve(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+// TestZeroAllocTimeSeriesObserve pins the TimeSeries observe paths —
+// counter, gauge, and per-window histogram, nil handles included — at
+// zero heap allocations per observation.
+func TestZeroAllocTimeSeriesObserve(t *testing.T) {
+	ts := NewTimeSeries(TimeSeriesConfig{Window: time.Second, MaxWindows: 64})
+	c := ts.Counter("c")
+	g := ts.Gauge("g")
+	h := ts.Histogram("h")
+	var noopC TSCounter
+	var noopG TSGauge
+	var noopH TSHist
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc(3 * time.Second)
+		g.Observe(5*time.Second, 123)
+		h.Observe(7*time.Second, 456)
+		h.ObserveDuration(9*time.Second, 2*time.Millisecond)
+		noopC.Inc(0)
+		noopG.Observe(0, 1)
+		noopH.Observe(0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("TimeSeries observe allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestZeroAllocSamplerKeep pins the sampler's admission decision at
+// zero allocations — it runs on every emitted event in sampled runs.
+func TestZeroAllocSamplerKeep(t *testing.T) {
+	s := NewHashSampler(42, 0.5, map[string]float64{CatPlayer: 1})
+	ev := Event{At: time.Second, Peer: 9, Seg: 4, Cat: CatFlow, Name: EvFlowComplete}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Keep(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("Keep allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkHotpathTimeSeriesObserve is the -benchmem gate for the
+// windowed observe path.
+func BenchmarkHotpathTimeSeriesObserve(b *testing.B) {
+	ts := NewTimeSeries(TimeSeriesConfig{Window: time.Second, MaxWindows: 256})
+	g := ts.Gauge("g")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Observe(time.Duration(i%200)*time.Second, int64(i))
+	}
+}
+
+// BenchmarkHotpathTimeSeriesHistObserve gates the bucketed variant.
+func BenchmarkHotpathTimeSeriesHistObserve(b *testing.B) {
+	ts := NewTimeSeries(TimeSeriesConfig{Window: time.Second, MaxWindows: 256})
+	h := ts.Histogram("h")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%200)*time.Second, int64(i))
+	}
+}
+
+// BenchmarkHotpathSamplerKeep gates the sampling decision.
+func BenchmarkHotpathSamplerKeep(b *testing.B) {
+	s := NewHashSampler(42, 0.5, nil)
+	ev := Event{At: time.Second, Peer: 9, Seg: 4, Cat: CatFlow, Name: EvFlowComplete}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Peer = i
+		s.Keep(ev)
+	}
+}
